@@ -1,0 +1,61 @@
+// Dijkstra: parallel single-source shortest paths over a synthetic road
+// network, the workload of the paper's Figure 3.
+//
+// The example compares the sequential reference against the parallel
+// label-correcting driver running on the (1+β) MultiQueue, and prints the
+// "extra work" (wasted pops) the relaxation causes — the trade-off the
+// paper's §6 discussion highlights.
+//
+// Run with: go run ./examples/dijkstra
+package main
+
+import (
+	"fmt"
+	"log"
+	"runtime"
+	"time"
+
+	"powerchoice/internal/graph"
+	"powerchoice/internal/pqadapt"
+)
+
+func main() {
+	const gridSide = 150
+	g, err := graph.RoadNetwork(gridSide, gridSide, 0.15, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("road network: %d intersections, %d road segments\n\n",
+		g.NumNodes(), g.NumEdges())
+
+	start := time.Now()
+	want, err := graph.Dijkstra(g, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	seq := time.Since(start)
+	fmt.Printf("sequential Dijkstra:              %8v\n", seq)
+
+	workers := runtime.GOMAXPROCS(0)
+	for _, beta := range []float64{1.0, 0.75, 0.5} {
+		q, err := pqadapt.NewMultiQueueBeta(beta, 0, 7)
+		if err != nil {
+			log.Fatal(err)
+		}
+		start = time.Now()
+		got, st, err := graph.ParallelSSSP(g, 0, q, workers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		par := time.Since(start)
+		for u := range want {
+			if got[u] != want[u] {
+				log.Fatalf("distance mismatch at node %d: %d != %d", u, got[u], want[u])
+			}
+		}
+		fmt.Printf("parallel (β=%.2f, %d workers):    %8v  (wasted pops: %d, relaxations: %d)\n",
+			beta, workers, par, st.WastedPops, st.Relaxations)
+	}
+	fmt.Println("\nall parallel runs produced exact shortest paths: the relaxed queue")
+	fmt.Println("only re-orders work, and stale entries are filtered by the distance array.")
+}

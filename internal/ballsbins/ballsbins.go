@@ -1,0 +1,145 @@
+// Package ballsbins implements the classic balanced-allocation processes the
+// paper builds on: single-choice, two-choice (Azar et al.), and the (1+β)
+// process of Peres, Talwar and Wieder, with unit or weighted increments, in
+// the heavily-loaded (unbounded-step) regime.
+//
+// The reproduction uses these processes for the Appendix A reduction
+// (round-robin insertions make the removal process identical to two-choice
+// allocation into "virtual bins"), for the Theorem 6 divergence argument,
+// and for the §6 tightness discussion (exponentially weighted two-choice has
+// a Θ(log n) gap).
+package ballsbins
+
+import (
+	"fmt"
+
+	"powerchoice/internal/xrand"
+)
+
+// Process is a balls-into-bins allocation process over n bins with
+// real-valued loads. It is not safe for concurrent use.
+type Process struct {
+	loads []float64
+	total float64
+	rng   *xrand.Source
+}
+
+// New returns a process with n empty bins and a deterministic seed.
+func New(n int, seed uint64) (*Process, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("ballsbins: need at least 1 bin, got %d", n)
+	}
+	return &Process{
+		loads: make([]float64, n),
+		rng:   xrand.NewSource(seed),
+	}, nil
+}
+
+// N returns the number of bins.
+func (p *Process) N() int { return len(p.loads) }
+
+// StepSingle adds weight to one uniformly random bin and returns its index.
+func (p *Process) StepSingle(weight float64) int {
+	i := p.rng.Intn(len(p.loads))
+	p.loads[i] += weight
+	p.total += weight
+	return i
+}
+
+// StepTwoChoice adds weight to the lesser loaded of two distinct uniformly
+// random bins (ties broken toward the lower index) and returns the chosen
+// bin. With a single bin it degenerates to StepSingle.
+func (p *Process) StepTwoChoice(weight float64) int {
+	if len(p.loads) < 2 {
+		return p.StepSingle(weight)
+	}
+	i, j := p.rng.TwoDistinct(len(p.loads))
+	c := chooseLess(p.loads, i, j)
+	p.loads[c] += weight
+	p.total += weight
+	return c
+}
+
+// StepOneBeta performs one step of the (1+β) process: with probability beta
+// a two-choice step, otherwise a single-choice step. It returns the chosen
+// bin.
+func (p *Process) StepOneBeta(beta, weight float64) int {
+	if p.rng.Bernoulli(beta) {
+		return p.StepTwoChoice(weight)
+	}
+	return p.StepSingle(weight)
+}
+
+// StepTwoChoiceAt performs a two-choice step with externally supplied
+// candidate bins, for coupling with another process (Appendix A reduction).
+// It returns the chosen bin.
+func (p *Process) StepTwoChoiceAt(i, j int, weight float64) int {
+	c := chooseLess(p.loads, i, j)
+	p.loads[c] += weight
+	p.total += weight
+	return c
+}
+
+// chooseLess picks the lesser-loaded of bins i and j, breaking ties toward
+// the smaller index. The deterministic tie-break is what makes the Appendix A
+// coupling exact: under round-robin insertion, the queue whose top label is
+// smaller is precisely the one removed from fewer times, with ties resolved
+// by queue index.
+func chooseLess(loads []float64, i, j int) int {
+	switch {
+	case loads[i] < loads[j]:
+		return i
+	case loads[j] < loads[i]:
+		return j
+	case i < j:
+		return i
+	default:
+		return j
+	}
+}
+
+// StepGraphical performs one step of the graphical allocation process of
+// Peres, Talwar and Wieder: a uniformly random edge from edges is sampled
+// and the ball goes to its lesser-loaded endpoint. The complete graph
+// recovers StepTwoChoice. It returns the chosen bin.
+func (p *Process) StepGraphical(edges [][2]int, weight float64) int {
+	e := edges[p.rng.Intn(len(edges))]
+	return p.StepTwoChoiceAt(e[0], e[1], weight)
+}
+
+// Load returns the load of bin i.
+func (p *Process) Load(i int) float64 { return p.loads[i] }
+
+// Loads returns a copy of all bin loads.
+func (p *Process) Loads() []float64 {
+	out := make([]float64, len(p.loads))
+	copy(out, p.loads)
+	return out
+}
+
+// Mean returns the average bin load.
+func (p *Process) Mean() float64 { return p.total / float64(len(p.loads)) }
+
+// Gap returns the maximum load above the mean, the quantity bounded by the
+// balanced-allocation literature (O(log log n) for two-choice, Θ(log n) for
+// exponentially weighted two-choice, diverging for single-choice).
+func (p *Process) Gap() float64 {
+	max := p.loads[0]
+	for _, l := range p.loads[1:] {
+		if l > max {
+			max = l
+		}
+	}
+	return max - p.Mean()
+}
+
+// MinGap returns the mean minus the minimum load.
+func (p *Process) MinGap() float64 {
+	min := p.loads[0]
+	for _, l := range p.loads[1:] {
+		if l < min {
+			min = l
+		}
+	}
+	return p.Mean() - min
+}

@@ -1,0 +1,251 @@
+package ballsbins
+
+import (
+	"math"
+	"testing"
+)
+
+func mustNew(t *testing.T, n int, seed uint64) *Process {
+	t.Helper()
+	p, err := New(n, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestNewValidates(t *testing.T) {
+	if _, err := New(0, 1); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := New(-3, 1); err == nil {
+		t.Error("negative n accepted")
+	}
+}
+
+func TestTotalsConserved(t *testing.T) {
+	p := mustNew(t, 16, 1)
+	for i := 0; i < 1000; i++ {
+		p.StepSingle(1)
+		p.StepTwoChoice(1)
+		p.StepOneBeta(0.5, 1)
+	}
+	var sum float64
+	for _, l := range p.Loads() {
+		sum += l
+	}
+	if sum != 3000 {
+		t.Errorf("total load = %v, want 3000", sum)
+	}
+	if got := p.Mean(); got != 3000.0/16 {
+		t.Errorf("Mean = %v", got)
+	}
+}
+
+func TestSingleBinDegenerate(t *testing.T) {
+	p := mustNew(t, 1, 2)
+	for i := 0; i < 10; i++ {
+		if c := p.StepTwoChoice(1); c != 0 {
+			t.Fatalf("chose bin %d with one bin", c)
+		}
+	}
+	if p.Load(0) != 10 {
+		t.Errorf("load = %v", p.Load(0))
+	}
+	if p.Gap() != 0 || p.MinGap() != 0 {
+		t.Error("single bin has nonzero gap")
+	}
+}
+
+func TestChooseLessTieBreak(t *testing.T) {
+	loads := []float64{3, 3, 1}
+	if got := chooseLess(loads, 0, 1); got != 0 {
+		t.Errorf("tie between 0 and 1 chose %d, want 0", got)
+	}
+	if got := chooseLess(loads, 1, 0); got != 0 {
+		t.Errorf("tie between 1 and 0 chose %d, want 0", got)
+	}
+	if got := chooseLess(loads, 0, 2); got != 2 {
+		t.Errorf("chose %d, want 2", got)
+	}
+	if got := chooseLess(loads, 2, 1); got != 2 {
+		t.Errorf("chose %d, want 2", got)
+	}
+}
+
+func TestStepTwoChoiceAtIsDeterministic(t *testing.T) {
+	p := mustNew(t, 4, 3)
+	p.StepTwoChoiceAt(0, 1, 1) // tie -> 0
+	if p.Load(0) != 1 {
+		t.Fatal("tie did not go to bin 0")
+	}
+	p.StepTwoChoiceAt(0, 1, 1) // 1 is lighter now
+	if p.Load(1) != 1 {
+		t.Fatal("lighter bin not chosen")
+	}
+}
+
+// TestTwoChoiceBeatsSingleChoice reproduces the qualitative heavy-load
+// separation: after t = 1000·n unit balls, the two-choice gap is an order of
+// magnitude below the single-choice gap (O(log log n) vs Θ(sqrt(t·log n / n))).
+func TestTwoChoiceBeatsSingleChoice(t *testing.T) {
+	const n = 64
+	const steps = 1000 * n
+	single := mustNew(t, n, 10)
+	double := mustNew(t, n, 11)
+	for i := 0; i < steps; i++ {
+		single.StepSingle(1)
+		double.StepTwoChoice(1)
+	}
+	gs, gd := single.Gap(), double.Gap()
+	if gd*4 > gs {
+		t.Errorf("two-choice gap %v not well below single-choice gap %v", gd, gs)
+	}
+	if gd > 8 { // theory: ~log2(log2(64)) + O(1) ≈ small constant
+		t.Errorf("two-choice gap %v suspiciously large", gd)
+	}
+}
+
+// TestTwoChoiceGapStableUnderLoad checks the heavily-loaded property
+// (Berenbrink et al.): the two-choice gap does not grow with t.
+func TestTwoChoiceGapStableUnderLoad(t *testing.T) {
+	const n = 64
+	p := mustNew(t, n, 12)
+	for i := 0; i < 500*n; i++ {
+		p.StepTwoChoice(1)
+	}
+	early := p.Gap()
+	for i := 0; i < 3500*n; i++ {
+		p.StepTwoChoice(1)
+	}
+	late := p.Gap()
+	if late > early+6 {
+		t.Errorf("two-choice gap grew from %v to %v over 8x more steps", early, late)
+	}
+}
+
+// TestSingleChoiceGapGrows checks that the single-choice gap scales like
+// sqrt(t): quadrupling t should roughly double the gap.
+func TestSingleChoiceGapGrows(t *testing.T) {
+	const n = 64
+	// Average over several seeds to tame variance while keeping determinism.
+	var earlySum, lateSum float64
+	for seed := uint64(0); seed < 8; seed++ {
+		p := mustNew(t, n, 100+seed)
+		for i := 0; i < 2000*n; i++ {
+			p.StepSingle(1)
+		}
+		earlySum += p.Gap()
+		for i := 0; i < 6000*n; i++ {
+			p.StepSingle(1)
+		}
+		lateSum += p.Gap()
+	}
+	ratio := lateSum / earlySum
+	if ratio < 1.4 || ratio > 2.9 {
+		t.Errorf("gap ratio after 4x steps = %v, want ≈ 2 (sqrt growth)", ratio)
+	}
+}
+
+// TestOneBetaInterpolates checks that β=1 matches two-choice-like gaps and
+// β=0 matches single-choice-like gaps, with intermediate β in between.
+func TestOneBetaInterpolates(t *testing.T) {
+	const n = 64
+	const steps = 2000 * n
+	gap := func(beta float64, seed uint64) float64 {
+		p := mustNew(t, n, seed)
+		for i := 0; i < steps; i++ {
+			p.StepOneBeta(beta, 1)
+		}
+		return p.Gap()
+	}
+	g0 := gap(0, 21)
+	g5 := gap(0.5, 22)
+	g1 := gap(1, 23)
+	if !(g1 < g5 && g5 < g0) {
+		t.Errorf("gaps not ordered: β=1: %v, β=0.5: %v, β=0: %v", g1, g5, g0)
+	}
+}
+
+// TestWeightedTwoChoiceGapLogN reproduces the §6 tightness ingredient
+// ([30, Example 2]): with Exp(1) weights, the two-choice gap is Θ(log n) —
+// larger than the O(log log n) unit-weight gap but still bounded in t.
+func TestWeightedTwoChoiceGapLogN(t *testing.T) {
+	const n = 64
+	p := mustNew(t, n, 31)
+	rng := p.rng // reuse the process RNG for weights; determinism is per-seed
+	for i := 0; i < 2000*n; i++ {
+		p.StepTwoChoice(rng.ExpFloat64())
+	}
+	gap := p.Gap()
+	logn := math.Log(n)
+	if gap < 0.3*logn || gap > 6*logn {
+		t.Errorf("weighted two-choice gap %v not Θ(log n)=Θ(%v)", gap, logn)
+	}
+}
+
+// TestGraphicalCompleteMatchesTwoChoice: on the complete graph the
+// graphical process is the two-choice process; gaps must be comparable.
+func TestGraphicalCompleteMatchesTwoChoice(t *testing.T) {
+	const n = 32
+	var complete [][2]int
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			complete = append(complete, [2]int{i, j})
+		}
+	}
+	pg := mustNew(t, n, 41)
+	pt := mustNew(t, n, 42)
+	for i := 0; i < 2000*n; i++ {
+		pg.StepGraphical(complete, 1)
+		pt.StepTwoChoice(1)
+	}
+	gg, gt := pg.Gap(), pt.Gap()
+	if gg > 2*gt+4 || gt > 2*gg+4 {
+		t.Errorf("graphical complete gap %v vs two-choice gap %v — should agree", gg, gt)
+	}
+}
+
+// TestGraphicalCycleWorseThanComplete: poor expansion weakens the power of
+// choice ([30]'s graphical allocation).
+func TestGraphicalCycleWorseThanComplete(t *testing.T) {
+	const n = 32
+	cycle := make([][2]int, n)
+	for i := 0; i < n; i++ {
+		cycle[i] = [2]int{i, (i + 1) % n}
+	}
+	var complete [][2]int
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			complete = append(complete, [2]int{i, j})
+		}
+	}
+	var cycleGap, completeGap float64
+	for seed := uint64(0); seed < 4; seed++ {
+		pc := mustNew(t, n, 50+seed)
+		pk := mustNew(t, n, 60+seed)
+		for i := 0; i < 2000*n; i++ {
+			pc.StepGraphical(cycle, 1)
+			pk.StepGraphical(complete, 1)
+		}
+		cycleGap += pc.Gap()
+		completeGap += pk.Gap()
+	}
+	if cycleGap <= completeGap {
+		t.Errorf("cycle gap %v not above complete gap %v", cycleGap/4, completeGap/4)
+	}
+}
+
+func BenchmarkStepTwoChoice(b *testing.B) {
+	p, _ := New(256, 1)
+	for i := 0; i < b.N; i++ {
+		p.StepTwoChoice(1)
+	}
+}
+
+func BenchmarkStepOneBeta(b *testing.B) {
+	p, _ := New(256, 1)
+	for i := 0; i < b.N; i++ {
+		p.StepOneBeta(0.5, 1)
+	}
+}

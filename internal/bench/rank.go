@@ -1,0 +1,161 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"powerchoice/internal/fenwick"
+	"powerchoice/internal/graph"
+	"powerchoice/internal/pqadapt"
+	"powerchoice/internal/stats"
+)
+
+// RankSpec configures a rank-quality measurement (Figure 2: mean rank
+// returned vs β, on a fixed queue count and thread count).
+type RankSpec struct {
+	// Impl optionally selects a non-MultiQueue implementation from the
+	// benchmark line-up; when set, Beta and Queues are ignored.
+	Impl pqadapt.Impl
+	// Beta is the (1+β) parameter of the MultiQueue under test.
+	Beta float64
+	// Queues fixes the internal queue count (the paper uses 8).
+	Queues int
+	// Threads is the number of concurrent deleters (the paper uses 8).
+	Threads int
+	// Prefill is the number of initially inserted elements; keys are the
+	// consecutive labels 0..Prefill-1 so ranks are well defined.
+	Prefill int
+	// OpsPerThread is the number of delete+insert pairs each thread runs.
+	OpsPerThread int
+	// Seed fixes all randomness.
+	Seed uint64
+}
+
+// RankResult summarises the offline rank analysis of one run.
+type RankResult struct {
+	// Mean, P50, P99 and Max describe the distribution of removal ranks
+	// (1 = the removal took the global minimum).
+	Mean, P50, P99 float64
+	Max            float64
+	// Removals is the number of analysed removal events.
+	Removals int
+	// Hist buckets ranks geometrically.
+	Hist *stats.Histogram
+}
+
+// rankEvent is one globally sequenced queue operation.
+type rankEvent struct {
+	seq    int64
+	key    uint64
+	insert bool
+}
+
+// RankQuality measures the rank distribution of the (1+β) MultiQueue under
+// concurrent load. Every operation draws a global sequence number from an
+// atomic counter (a strictly stronger ordering than the paper's coherent
+// timestamps); the removal ranks are then computed offline by replaying the
+// log against a Fenwick presence tree — exactly the paper's post-processing
+// step.
+func RankQuality(spec RankSpec) (RankResult, error) {
+	if spec.Threads < 1 || spec.Prefill < 1 || spec.OpsPerThread < 1 {
+		return RankResult{}, fmt.Errorf("bench: invalid rank spec %+v", spec)
+	}
+	var q pqadapt.Queue
+	var err error
+	if spec.Impl != "" {
+		q, err = pqadapt.New(spec.Impl, spec.Seed)
+	} else {
+		if spec.Queues < 1 {
+			return RankResult{}, fmt.Errorf("bench: invalid rank spec %+v", spec)
+		}
+		q, err = pqadapt.NewMultiQueueBeta(spec.Beta, spec.Queues, spec.Seed)
+	}
+	if err != nil {
+		return RankResult{}, err
+	}
+	for i := 0; i < spec.Prefill; i++ {
+		q.Insert(uint64(i), int32(i))
+	}
+	// Collect prefill garbage before measuring: a GC pause that lands while
+	// a worker holds a queue's spin lock stalls that queue's frontier and
+	// grossly inflates measured ranks (the artifact the paper's thread
+	// pinning avoids).
+	runtime.GC()
+	// Fresh labels continue the sequence, keeping the run prefixed (§3).
+	var nextLabel atomic.Uint64
+	nextLabel.Store(uint64(spec.Prefill))
+	var seq atomic.Int64
+
+	logs := make([][]rankEvent, spec.Threads)
+	var wg sync.WaitGroup
+	for w := 0; w < spec.Threads; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			local := graph.ConcurrentPQ(q)
+			if wl, ok := q.(graph.WorkerLocal); ok {
+				local = wl.Local()
+			}
+			events := make([]rankEvent, 0, 2*spec.OpsPerThread)
+			for i := 0; i < spec.OpsPerThread; i++ {
+				key, _, ok := local.DeleteMin()
+				s := seq.Add(1)
+				if ok {
+					events = append(events, rankEvent{seq: s, key: key})
+				}
+				label := nextLabel.Add(1) - 1
+				local.Insert(label, int32(0))
+				events = append(events, rankEvent{seq: seq.Add(1), key: label, insert: true})
+			}
+			logs[w] = events
+		}(w)
+	}
+	wg.Wait()
+
+	// Offline replay in sequence order.
+	var all []rankEvent
+	for _, l := range logs {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].seq < all[j].seq })
+	capacity := int(nextLabel.Load())
+	present := fenwick.New(capacity)
+	for i := 0; i < spec.Prefill; i++ {
+		present.Add(i, 1)
+	}
+	var welford stats.Welford
+	hist := stats.NewHistogram(24)
+	ranks := make([]float64, 0, len(all)/2)
+	for _, ev := range all {
+		if ev.insert {
+			present.Add(int(ev.key), 1)
+			continue
+		}
+		r := float64(present.PrefixSum(int(ev.key)))
+		if r < 1 {
+			// The sequence numbers are drawn just after each operation
+			// returns, so a removal can occasionally be logged before the
+			// insert that produced its key (the paper notes the same caveat
+			// for its timestamps). Clamp to the minimum possible rank.
+			r = 1
+		}
+		present.Add(int(ev.key), -1)
+		welford.Add(r)
+		hist.Add(r)
+		ranks = append(ranks, r)
+	}
+	if len(ranks) == 0 {
+		return RankResult{}, fmt.Errorf("bench: no removals recorded")
+	}
+	return RankResult{
+		Mean:     welford.Mean(),
+		P50:      stats.Percentile(ranks, 50),
+		P99:      stats.Percentile(ranks, 99),
+		Max:      welford.Max(),
+		Removals: len(ranks),
+		Hist:     hist,
+	}, nil
+}

@@ -1,0 +1,59 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"powerchoice/internal/graph"
+	"powerchoice/internal/pqadapt"
+)
+
+// SSSPSpec configures one parallel shortest-path timing run (Figure 3).
+type SSSPSpec struct {
+	// Impl selects the queue implementation driving Dijkstra.
+	Impl pqadapt.Impl
+	// G is the input graph; Source the start node.
+	G      *graph.Graph
+	Source int
+	// Threads is the worker count.
+	Threads int
+	// Seed fixes queue randomness.
+	Seed uint64
+	// Verify, when set, checks the result against sequential Dijkstra.
+	Verify bool
+}
+
+// SSSPResult reports one timing run.
+type SSSPResult struct {
+	Elapsed time.Duration
+	Stats   graph.SSSPStats
+}
+
+// SSSP times one parallel shortest-path computation.
+func SSSP(spec SSSPSpec) (SSSPResult, error) {
+	if spec.G == nil {
+		return SSSPResult{}, fmt.Errorf("bench: nil graph")
+	}
+	q, err := pqadapt.New(spec.Impl, spec.Seed)
+	if err != nil {
+		return SSSPResult{}, err
+	}
+	start := time.Now()
+	dist, st, err := graph.ParallelSSSP(spec.G, spec.Source, q, spec.Threads)
+	elapsed := time.Since(start)
+	if err != nil {
+		return SSSPResult{}, err
+	}
+	if spec.Verify {
+		want, err := graph.Dijkstra(spec.G, spec.Source)
+		if err != nil {
+			return SSSPResult{}, err
+		}
+		for u := range want {
+			if dist[u] != want[u] {
+				return SSSPResult{}, fmt.Errorf("bench: SSSP mismatch at node %d: %d != %d", u, dist[u], want[u])
+			}
+		}
+	}
+	return SSSPResult{Elapsed: elapsed, Stats: st}, nil
+}

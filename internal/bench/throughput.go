@@ -1,0 +1,113 @@
+// Package bench is the measurement harness behind the paper's evaluation
+// (§5): a duration-bounded throughput runner (Figure 1), a rank-quality
+// runner with globally sequenced operation logs and offline Fenwick
+// post-processing (Figure 2 — the paper's timestamp methodology with a
+// strictly stronger ordering), an SSSP timing runner (Figure 3), and ASCII
+// table / CSV emitters for regenerating the figures as text.
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"powerchoice/internal/graph"
+	"powerchoice/internal/pqadapt"
+	"powerchoice/internal/xrand"
+)
+
+// ThroughputSpec configures one throughput measurement.
+type ThroughputSpec struct {
+	// Impl selects the queue implementation.
+	Impl pqadapt.Impl
+	// Threads is the number of worker goroutines.
+	Threads int
+	// Duration bounds the run; the deadline is checked every 64 operations.
+	Duration time.Duration
+	// Prefill inserts this many random-key elements before timing, keeping
+	// the run in the never-empty regime the paper measures.
+	Prefill int
+	// Seed fixes all randomness.
+	Seed uint64
+}
+
+// ThroughputResult reports one throughput measurement.
+type ThroughputResult struct {
+	// Ops counts completed operations (inserts + deletes) across workers.
+	Ops int64
+	// Elapsed is the measured wall time.
+	Elapsed time.Duration
+	// MOps is throughput in million operations per second.
+	MOps float64
+}
+
+// paddedCount keeps per-worker counters on separate cache lines.
+type paddedCount struct {
+	n int64
+	_ [56]byte
+}
+
+// Throughput runs alternating insert / deleteMin pairs on the chosen
+// implementation for the configured duration (§5 methodology).
+func Throughput(spec ThroughputSpec) (ThroughputResult, error) {
+	if spec.Threads < 1 {
+		return ThroughputResult{}, fmt.Errorf("bench: threads %d < 1", spec.Threads)
+	}
+	if spec.Duration <= 0 {
+		return ThroughputResult{}, fmt.Errorf("bench: non-positive duration %v", spec.Duration)
+	}
+	q, err := pqadapt.New(spec.Impl, spec.Seed)
+	if err != nil {
+		return ThroughputResult{}, err
+	}
+	sh := xrand.NewSharded(spec.Seed)
+	prefillRng := sh.Source(1 << 20)
+	for i := 0; i < spec.Prefill; i++ {
+		q.Insert(prefillRng.Uint64()>>1, int32(i))
+	}
+	// Collect prefill garbage so GC pauses do not land inside the timed
+	// region's lock critical sections.
+	runtime.GC()
+
+	counts := make([]paddedCount, spec.Threads)
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	start := time.Now()
+	deadline := start.Add(spec.Duration)
+	for w := 0; w < spec.Threads; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			view := graph.ConcurrentPQ(q)
+			if wl, ok := q.(graph.WorkerLocal); ok {
+				view = wl.Local()
+			}
+			rng := sh.Source(w)
+			var local int64
+			for !stop.Load() {
+				for i := 0; i < 32; i++ {
+					view.Insert(rng.Uint64()>>1, int32(i))
+					view.DeleteMin()
+					local += 2
+				}
+				if time.Now().After(deadline) {
+					stop.Store(true)
+				}
+			}
+			counts[w].n = local
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	var total int64
+	for i := range counts {
+		total += counts[i].n
+	}
+	return ThroughputResult{
+		Ops:     total,
+		Elapsed: elapsed,
+		MOps:    float64(total) / elapsed.Seconds() / 1e6,
+	}, nil
+}

@@ -1,0 +1,136 @@
+// Package core implements the paper's practical contribution: the (1+β)
+// MultiQueue, a relaxed concurrent priority queue built from n = c·P
+// lock-protected sequential heaps (§1, §5).
+//
+// Insert picks a uniformly random queue, acquires its try-lock (retrying
+// with a fresh random queue on failure, as in Rihani et al.), and pushes.
+// DeleteMin flips a β-biased coin: with probability β it samples two
+// distinct queues, compares their cached top priorities without locking,
+// and pops from the better one; otherwise it pops from a single random
+// queue. The paper proves (for the sequential process) that this keeps the
+// expected removal rank O(n/β²) and the expected max rank O(n log n / β) at
+// every point in time.
+//
+// The package also provides an Atomic mode in which the compare-and-remove
+// pair executes under one global lock. That mode realises distributional
+// linearizability (Appendix C): its removal distribution provably matches
+// the sequential process, which the tests exploit.
+package core
+
+import (
+	"math"
+	"sync"
+
+	"powerchoice/internal/pqueue"
+	"powerchoice/internal/xrand"
+)
+
+// emptyTop is the cached-top sentinel for an empty queue. Keys equal to
+// emptyTop are clamped down by one on Insert (documented relaxation: the
+// largest possible priority loses one ULP of distinction).
+const emptyTop = math.MaxUint64
+
+// MultiQueue is a relaxed concurrent priority queue. Smaller keys have
+// higher priority. All methods are safe for concurrent use.
+//
+// Deletion semantics are relaxed: DeleteMin returns an element whose rank
+// among all present elements is small in expectation (O(n) for β=1), not
+// necessarily the global minimum. DeleteMin returns ok=false when a sweep
+// of every queue finds them all empty; an insert that has not yet acquired
+// its queue lock may be missed by a concurrent sweep (standard relaxed
+// emptiness — the structure deliberately has no global counter, which would
+// serialise all operations on one cache line).
+type MultiQueue[V any] struct {
+	queues     []lockedQueue[V]
+	beta       float64
+	choices    int
+	stickiness int
+	atomic     bool
+
+	globalMu sync.Mutex // used only in atomic mode
+	handles  sync.Pool
+	sharded  *xrand.Sharded
+	hseq     atomicInt64
+}
+
+// lockedQueue is one sequential heap with its try-lock, cached top, and
+// element count, padded out to its own cache lines so queue hot words do
+// not false-share. top and count are written only under lock and read
+// without it.
+type lockedQueue[V any] struct {
+	lock  spinLock
+	top   atomicUint64 // cached minimum key, emptyTop when empty
+	count atomicInt64  // cached heap length
+	heap  pqueue.Queue[V]
+	_     [32]byte // pad struct past a cache line boundary
+}
+
+// New constructs a MultiQueue from the given options (see Option).
+func New[V any](opts ...Option) (*MultiQueue[V], error) {
+	cfg, err := buildOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	mq := &MultiQueue[V]{
+		queues:     make([]lockedQueue[V], cfg.queues),
+		beta:       cfg.beta,
+		choices:    cfg.choices,
+		stickiness: cfg.stickiness,
+		atomic:     cfg.atomicMode,
+		sharded:    xrand.NewSharded(cfg.seed),
+	}
+	for i := range mq.queues {
+		mq.queues[i].heap = pqueue.New[V](cfg.heapKind)
+		mq.queues[i].top.Store(emptyTop)
+	}
+	mq.handles.New = func() any { return mq.newHandle() }
+	return mq, nil
+}
+
+// NumQueues returns n, the number of internal queues.
+func (mq *MultiQueue[V]) NumQueues() int { return len(mq.queues) }
+
+// Beta returns the configured two-choice probability.
+func (mq *MultiQueue[V]) Beta() float64 { return mq.beta }
+
+// Choices returns d, the number of queues sampled per choice-deletion.
+func (mq *MultiQueue[V]) Choices() int { return mq.choices }
+
+// Len returns the number of elements present. It sums racy per-queue
+// counts, so under concurrent mutation the value is approximate; it is
+// exact whenever no operation is in flight.
+func (mq *MultiQueue[V]) Len() int {
+	var total int64
+	for i := range mq.queues {
+		total += mq.queues[i].count.Load()
+	}
+	return int(total)
+}
+
+// Insert adds an element using a pooled handle. Hot paths should hold a
+// dedicated Handle instead (see Handle).
+func (mq *MultiQueue[V]) Insert(key uint64, value V) {
+	h := mq.handles.Get().(*Handle[V])
+	h.Insert(key, value)
+	mq.handles.Put(h)
+}
+
+// DeleteMin removes an element of (relaxed) minimum priority using a pooled
+// handle. Hot paths should hold a dedicated Handle instead.
+func (mq *MultiQueue[V]) DeleteMin() (uint64, V, bool) {
+	h := mq.handles.Get().(*Handle[V])
+	k, v, ok := h.DeleteMin()
+	mq.handles.Put(h)
+	return k, v, ok
+}
+
+// refreshTop recomputes q's cached top and count from its heap. Callers
+// must hold q.lock.
+func (q *lockedQueue[V]) refreshTop() {
+	if it, ok := q.heap.PeekMin(); ok {
+		q.top.Store(it.Key)
+	} else {
+		q.top.Store(emptyTop)
+	}
+	q.count.Store(int64(q.heap.Len()))
+}

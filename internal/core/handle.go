@@ -1,0 +1,256 @@
+package core
+
+import (
+	"runtime"
+
+	"powerchoice/internal/xrand"
+)
+
+// Handle is a per-goroutine accessor to a MultiQueue. It owns a private
+// random stream and operation counters, so hot loops pay no synchronisation
+// beyond the queue locks themselves. A Handle must not be shared between
+// goroutines.
+type Handle[V any] struct {
+	mq      *MultiQueue[V]
+	rng     *xrand.Source
+	scratch []int // d-choice sample buffer
+	// Sticky state: remembered queues and remaining streak lengths (only
+	// used when the MultiQueue was built WithStickiness > 1).
+	stickyIns *lockedQueue[V]
+	insLeft   int
+	stickyDel *lockedQueue[V]
+	delLeft   int
+	// stats, maintained without atomics (single-owner).
+	inserts    int64
+	deletes    int64
+	lockFails  int64
+	emptyScans int64
+}
+
+// Handle returns a new dedicated handle for the calling goroutine.
+func (mq *MultiQueue[V]) Handle() *Handle[V] {
+	return mq.newHandle()
+}
+
+func (mq *MultiQueue[V]) newHandle() *Handle[V] {
+	id := mq.hseq.Add(1)
+	return &Handle[V]{mq: mq, rng: mq.sharded.Source(int(id))}
+}
+
+// HandleStats reports a handle's operation counters.
+type HandleStats struct {
+	// Inserts and Deletes count completed operations.
+	Inserts, Deletes int64
+	// LockFails counts try-lock failures that forced a fresh random queue.
+	LockFails int64
+	// EmptyScans counts deletion attempts that found the sampled queue(s)
+	// empty while the structure was non-empty.
+	EmptyScans int64
+}
+
+// Stats returns the handle's counters.
+func (h *Handle[V]) Stats() HandleStats {
+	return HandleStats{
+		Inserts:    h.inserts,
+		Deletes:    h.deletes,
+		LockFails:  h.lockFails,
+		EmptyScans: h.emptyScans,
+	}
+}
+
+// Insert adds an element. Keys equal to the maximum uint64 are clamped down
+// by one (that value is the internal empty sentinel).
+func (h *Handle[V]) Insert(key uint64, value V) {
+	if key == emptyTop {
+		key = emptyTop - 1
+	}
+	mq := h.mq
+	if mq.atomic {
+		mq.globalMu.Lock()
+		q := &mq.queues[h.rng.Intn(len(mq.queues))]
+		q.heap.Push(key, value)
+		q.refreshTop()
+		mq.globalMu.Unlock()
+		h.inserts++
+		return
+	}
+	// Sticky fast path: reuse the last insertion queue while the streak
+	// lasts and its lock is free; any obstacle breaks the streak.
+	if h.insLeft > 0 && h.stickyIns != nil {
+		if q := h.stickyIns; q.lock.TryLock() {
+			q.heap.Push(key, value)
+			q.refreshTop()
+			q.lock.Unlock()
+			h.insLeft--
+			h.inserts++
+			return
+		}
+		h.lockFails++
+		h.insLeft = 0
+	}
+	for spins := 0; ; spins++ {
+		q := &mq.queues[h.rng.Intn(len(mq.queues))]
+		if q.lock.TryLock() {
+			q.heap.Push(key, value)
+			q.refreshTop()
+			q.lock.Unlock()
+			if mq.stickiness > 1 {
+				h.stickyIns = q
+				h.insLeft = mq.stickiness - 1
+			}
+			h.inserts++
+			return
+		}
+		h.lockFails++
+		if spins%16 == 15 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// DeleteMin removes and returns an element of relaxed minimum priority.
+// It returns ok=false when a full sweep of the cached tops finds every
+// queue empty; inserts still in flight at sweep time may be missed (relaxed
+// emptiness, see MultiQueue).
+func (h *Handle[V]) DeleteMin() (uint64, V, bool) {
+	mq := h.mq
+	if mq.atomic {
+		return h.deleteMinAtomic()
+	}
+	// Sticky fast path: keep draining the last successful queue while the
+	// streak lasts, it has elements, and its lock is free.
+	if h.delLeft > 0 && h.stickyDel != nil {
+		q := h.stickyDel
+		if q.top.Load() != emptyTop && q.lock.TryLock() {
+			it, ok := q.heap.PopMin()
+			q.refreshTop()
+			q.lock.Unlock()
+			if ok {
+				h.delLeft--
+				h.deletes++
+				return it.Key, it.Value, true
+			}
+		}
+		h.delLeft = 0
+	}
+	for spins := 0; ; spins++ {
+		q := h.pickQueue()
+		if q == nil {
+			// All sampled tops empty: sweep every queue before declaring
+			// the structure empty.
+			h.emptyScans++
+			if !mq.anyNonEmpty() {
+				var zero V
+				return 0, zero, false
+			}
+			if spins%4 == 3 {
+				runtime.Gosched()
+			}
+			continue
+		}
+		if !q.lock.TryLock() {
+			h.lockFails++
+			if spins%16 == 15 {
+				runtime.Gosched()
+			}
+			continue
+		}
+		it, ok := q.heap.PopMin()
+		q.refreshTop()
+		q.lock.Unlock()
+		if !ok {
+			// Queue drained between the unsynchronised top read and the
+			// lock acquisition; retry with fresh randomness.
+			h.emptyScans++
+			continue
+		}
+		if mq.stickiness > 1 {
+			h.stickyDel = q
+			h.delLeft = mq.stickiness - 1
+		}
+		h.deletes++
+		return it.Key, it.Value, true
+	}
+}
+
+// pickQueue samples queue(s) per the (1+β) d-choice rule and returns the
+// candidate with the smallest cached top, or nil when every sampled
+// candidate is empty.
+func (h *Handle[V]) pickQueue() *lockedQueue[V] {
+	mq := h.mq
+	n := len(mq.queues)
+	useChoice := mq.choices >= 2 && (mq.beta >= 1 || h.rng.Float64() < mq.beta)
+	switch {
+	case !useChoice:
+		q := &mq.queues[h.rng.Intn(n)]
+		if q.top.Load() == emptyTop {
+			return nil
+		}
+		return q
+	case mq.choices == 2:
+		i, j := h.rng.TwoDistinct(n)
+		qi, qj := &mq.queues[i], &mq.queues[j]
+		ti, tj := qi.top.Load(), qj.top.Load()
+		if ti == emptyTop && tj == emptyTop {
+			return nil
+		}
+		if ti <= tj {
+			return qi
+		}
+		return qj
+	default:
+		if h.scratch == nil {
+			h.scratch = make([]int, mq.choices)
+		}
+		h.rng.KDistinct(h.scratch, n)
+		var best *lockedQueue[V]
+		bestTop := uint64(emptyTop)
+		for _, i := range h.scratch {
+			q := &mq.queues[i]
+			if t := q.top.Load(); t < bestTop {
+				best, bestTop = q, t
+			}
+		}
+		return best
+	}
+}
+
+// deleteMinAtomic performs the whole two-choice compare and pop under the
+// global lock (Appendix C's distributionally linearizable reference).
+func (h *Handle[V]) deleteMinAtomic() (uint64, V, bool) {
+	mq := h.mq
+	for {
+		mq.globalMu.Lock()
+		q := h.pickQueue()
+		if q == nil {
+			empty := !mq.anyNonEmpty()
+			mq.globalMu.Unlock()
+			h.emptyScans++
+			if empty {
+				var zero V
+				return 0, zero, false
+			}
+			runtime.Gosched()
+			continue
+		}
+		it, ok := q.heap.PopMin()
+		q.refreshTop()
+		mq.globalMu.Unlock()
+		if !ok {
+			h.emptyScans++
+			continue
+		}
+		h.deletes++
+		return it.Key, it.Value, true
+	}
+}
+
+// anyNonEmpty sweeps the cached tops for a non-empty queue.
+func (mq *MultiQueue[V]) anyNonEmpty() bool {
+	for i := range mq.queues {
+		if mq.queues[i].top.Load() != emptyTop {
+			return true
+		}
+	}
+	return false
+}

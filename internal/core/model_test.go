@@ -1,0 +1,138 @@
+package core
+
+import (
+	"container/heap"
+	"testing"
+	"testing/quick"
+)
+
+// refHeap is the reference model for exactness checks.
+type refHeap []uint64
+
+func (h refHeap) Len() int            { return len(h) }
+func (h refHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h refHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x interface{}) { *h = append(*h, x.(uint64)) }
+func (h *refHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// TestQuickSingleQueueModelEquivalence: with one internal queue the
+// MultiQueue is exact; random op sequences must match container/heap on
+// every pop and length.
+func TestQuickSingleQueueModelEquivalence(t *testing.T) {
+	check := func(ops []uint16) bool {
+		mq, err := New[struct{}](WithQueues(1), WithSeed(9))
+		if err != nil {
+			return false
+		}
+		ref := &refHeap{}
+		for _, op := range ops {
+			if ref.Len() == 0 || op%3 != 0 {
+				k := uint64(op)
+				mq.Insert(k, struct{}{})
+				heap.Push(ref, k)
+			} else {
+				got, _, ok := mq.DeleteMin()
+				want := heap.Pop(ref).(uint64)
+				if !ok || got != want {
+					return false
+				}
+			}
+			if mq.Len() != ref.Len() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickMultisetPreservation: for any queue count and β, whatever goes
+// in comes out exactly once.
+func TestQuickMultisetPreservation(t *testing.T) {
+	check := func(keys []uint16, nq uint8, betaRaw uint8) bool {
+		queues := int(nq%8) + 1
+		beta := float64(betaRaw%5) / 4
+		mq, err := New[struct{}](WithQueues(queues), WithBeta(beta), WithSeed(11))
+		if err != nil {
+			return false
+		}
+		want := map[uint64]int{}
+		for _, k := range keys {
+			want[uint64(k)]++
+			mq.Insert(uint64(k), struct{}{})
+		}
+		got := map[uint64]int{}
+		for {
+			k, _, ok := mq.DeleteMin()
+			if !ok {
+				break
+			}
+			got[k]++
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for k, c := range want {
+			if got[k] != c {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickPopsBoundedByQueueContents: every pop's key is the minimum of
+// the queue it came from, so no pop can be smaller than the global minimum
+// nor larger than the maximum inserted key.
+func TestQuickPopsWithinKeyRange(t *testing.T) {
+	check := func(keys []uint16) bool {
+		if len(keys) == 0 {
+			return true
+		}
+		mq, err := New[struct{}](WithQueues(4), WithSeed(13))
+		if err != nil {
+			return false
+		}
+		min, max := uint64(keys[0]), uint64(keys[0])
+		for _, k := range keys {
+			v := uint64(k)
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+			mq.Insert(v, struct{}{})
+		}
+		first := true
+		for {
+			k, _, ok := mq.DeleteMin()
+			if !ok {
+				break
+			}
+			if k < min || k > max {
+				return false
+			}
+			if first {
+				// The very first pop compares tops of fresh queues; its key
+				// can be any queue top but never below the global min.
+				first = false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+
+	"powerchoice/internal/pqueue"
+)
+
+// Option configures a MultiQueue.
+type Option func(*config)
+
+type config struct {
+	queues     int
+	factor     int
+	beta       float64
+	choices    int
+	stickiness int
+	seed       uint64
+	heapKind   pqueue.Kind
+	atomicMode bool
+}
+
+// WithQueues sets the number of internal queues explicitly. It overrides
+// WithQueueFactor.
+func WithQueues(n int) Option {
+	return func(c *config) { c.queues = n }
+}
+
+// WithQueueFactor sets the queue count to factor × GOMAXPROCS, the paper's
+// n = c·P configuration. The default factor is 2.
+func WithQueueFactor(factor int) Option {
+	return func(c *config) { c.factor = factor }
+}
+
+// WithBeta sets the probability of using two-choice deletion; 1-β of
+// deletions use a single random queue. β=1 is the original MultiQueue;
+// the paper finds β ∈ {0.5, 0.75} improves throughput by up to 20% at a
+// modest rank-quality cost. The default is 1.
+func WithBeta(beta float64) Option {
+	return func(c *config) { c.beta = beta }
+}
+
+// WithChoices sets d, the number of queues sampled by a choice-deletion
+// (the d-choice generalisation; the paper's rule and the default is d=2).
+// Larger d tightens rank quality at the cost of d top reads per deletion;
+// d equal to the queue count degenerates to an exact — but contended —
+// queue.
+func WithChoices(d int) Option {
+	return func(c *config) { c.choices = d }
+}
+
+// WithStickiness makes each handle reuse its sampled queue(s) for up to s
+// consecutive operations before re-randomising, a variant used by the
+// MultiQueue line of work (§2 mentions such variants; later MultiQueue
+// papers study it as "stickiness"): fewer random queue switches mean
+// better cache locality at a modest rank-quality cost. s=1 (the default)
+// is the paper's fully random rule. A sticky streak breaks early whenever
+// the remembered queue is contended or empty.
+func WithStickiness(s int) Option {
+	return func(c *config) { c.stickiness = s }
+}
+
+// WithSeed fixes the root seed of the per-handle random streams.
+func WithSeed(seed uint64) Option {
+	return func(c *config) { c.seed = seed }
+}
+
+// WithHeap selects the sequential heap implementation backing each queue.
+// The default is the 4-ary heap.
+func WithHeap(kind pqueue.Kind) Option {
+	return func(c *config) { c.heapKind = kind }
+}
+
+// WithAtomic makes the compare-and-remove pair execute under a single
+// global lock, realising distributional linearizability (Appendix C): the
+// removal distribution then provably matches the paper's sequential
+// process. Throughput suffers; the mode exists for validation and as the
+// A3 ablation baseline.
+func WithAtomic(enabled bool) Option {
+	return func(c *config) { c.atomicMode = enabled }
+}
+
+func buildOptions(opts []Option) (config, error) {
+	c := config{
+		factor:   2,
+		beta:     1,
+		seed:     0x9e3779b97f4a7c15,
+		heapKind: pqueue.KindDAry,
+	}
+	for _, o := range opts {
+		o(&c)
+	}
+	if c.queues == 0 {
+		if c.factor < 1 {
+			return c, fmt.Errorf("core: queue factor %d < 1", c.factor)
+		}
+		c.queues = c.factor * runtime.GOMAXPROCS(0)
+	}
+	if c.queues < 1 {
+		return c, fmt.Errorf("core: need at least one queue, got %d", c.queues)
+	}
+	if c.beta < 0 || c.beta > 1 {
+		return c, fmt.Errorf("core: beta %v outside [0,1]", c.beta)
+	}
+	if c.choices == 0 {
+		c.choices = 2
+		if c.queues < 2 {
+			c.choices = 1
+		}
+	}
+	if c.choices < 1 || c.choices > c.queues {
+		return c, fmt.Errorf("core: choices %d outside [1,%d]", c.choices, c.queues)
+	}
+	if c.stickiness == 0 {
+		c.stickiness = 1
+	}
+	if c.stickiness < 1 {
+		return c, fmt.Errorf("core: stickiness %d < 1", c.stickiness)
+	}
+	known := false
+	for _, k := range pqueue.Kinds() {
+		if c.heapKind == k {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return c, fmt.Errorf("core: unknown heap kind %q", c.heapKind)
+	}
+	return c, nil
+}

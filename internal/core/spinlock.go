@@ -1,0 +1,39 @@
+package core
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// Aliases keep the atomic field types concise at use sites.
+type (
+	atomicInt64  = atomic.Int64
+	atomicUint64 = atomic.Uint64
+)
+
+// spinLock is a test-and-set try-lock. The MultiQueue algorithm prefers
+// moving to a different random queue over waiting, so TryLock is the primary
+// operation; Lock exists for the rare full-sweep paths.
+type spinLock struct {
+	v atomic.Uint32
+}
+
+// TryLock attempts to acquire the lock without blocking.
+func (l *spinLock) TryLock() bool {
+	return l.v.Load() == 0 && l.v.CompareAndSwap(0, 1)
+}
+
+// Lock acquires the lock, yielding to the scheduler between attempts so
+// spinners cannot starve the lock holder on small GOMAXPROCS.
+func (l *spinLock) Lock() {
+	for spins := 0; !l.TryLock(); spins++ {
+		if spins%16 == 15 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// Unlock releases the lock.
+func (l *spinLock) Unlock() {
+	l.v.Store(0)
+}

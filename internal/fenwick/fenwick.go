@@ -1,0 +1,96 @@
+// Package fenwick implements Fenwick (binary-indexed) trees over a fixed
+// index universe. The reproduction uses them as the rank oracle of §3: with
+// one tree cell per label, holding 1 while the label is present,
+// rank(ℓ) = PrefixSum(ℓ) is "the number of elements currently in the system
+// which have lower label than ℓ (including itself)" in O(log M) time.
+package fenwick
+
+import "fmt"
+
+// Tree is a Fenwick tree over indices [0, n). The zero value is unusable;
+// construct with New.
+type Tree struct {
+	bit []int64 // 1-based internal array
+	n   int
+}
+
+// New returns a tree over indices [0, n) with all values zero.
+func New(n int) *Tree {
+	if n < 0 {
+		panic(fmt.Sprintf("fenwick: negative size %d", n))
+	}
+	return &Tree{bit: make([]int64, n+1), n: n}
+}
+
+// Len returns the size of the index universe.
+func (t *Tree) Len() int { return t.n }
+
+// Add adds delta to the value at index i.
+func (t *Tree) Add(i int, delta int64) {
+	if i < 0 || i >= t.n {
+		panic(fmt.Sprintf("fenwick: Add index %d out of range [0,%d)", i, t.n))
+	}
+	for j := i + 1; j <= t.n; j += j & (-j) {
+		t.bit[j] += delta
+	}
+}
+
+// PrefixSum returns the sum of values at indices [0, i]. A negative i
+// yields 0.
+func (t *Tree) PrefixSum(i int) int64 {
+	if i >= t.n {
+		i = t.n - 1
+	}
+	var s int64
+	for j := i + 1; j > 0; j -= j & (-j) {
+		s += t.bit[j]
+	}
+	return s
+}
+
+// RangeSum returns the sum of values at indices [a, b]. An empty range
+// (a > b) yields 0.
+func (t *Tree) RangeSum(a, b int) int64 {
+	if a > b {
+		return 0
+	}
+	return t.PrefixSum(b) - t.PrefixSum(a-1)
+}
+
+// Total returns the sum of all values.
+func (t *Tree) Total() int64 { return t.PrefixSum(t.n - 1) }
+
+// FindKth returns the smallest index i such that PrefixSum(i) >= k, assuming
+// all values are non-negative. It returns (i, true) if such an index exists
+// and (0, false) otherwise (k larger than the total, or k <= 0 with an empty
+// tree). For a 0/1 tree this is the k-th smallest present label.
+func (t *Tree) FindKth(k int64) (int, bool) {
+	if k <= 0 {
+		return 0, false
+	}
+	pos := 0
+	// Highest power of two <= n.
+	logn := 1
+	for logn<<1 <= t.n {
+		logn <<= 1
+	}
+	rem := k
+	for step := logn; step > 0; step >>= 1 {
+		next := pos + step
+		if next <= t.n && t.bit[next] < rem {
+			rem -= t.bit[next]
+			pos = next
+		}
+	}
+	if pos >= t.n {
+		return 0, false
+	}
+	return pos, true // pos is 0-based index of the k-th item
+}
+
+// Reset zeroes every value, retaining capacity.
+func (t *Tree) Reset() {
+	for i := range t.bit {
+		t.bit[i] = 0
+	}
+}

@@ -1,0 +1,243 @@
+package fenwick
+
+import (
+	"testing"
+	"testing/quick"
+
+	"powerchoice/internal/xrand"
+)
+
+// naive is the reference model: a plain slice with O(n) prefix sums.
+type naive []int64
+
+func (m naive) prefixSum(i int) int64 {
+	var s int64
+	for j := 0; j <= i && j < len(m); j++ {
+		s += m[j]
+	}
+	return s
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := New(0)
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if got := tr.PrefixSum(5); got != 0 {
+		t.Fatalf("PrefixSum on empty tree = %d", got)
+	}
+	if _, ok := tr.FindKth(1); ok {
+		t.Fatal("FindKth on empty tree returned ok")
+	}
+}
+
+func TestBasicOps(t *testing.T) {
+	tr := New(10)
+	tr.Add(0, 1)
+	tr.Add(4, 2)
+	tr.Add(9, 3)
+	cases := []struct {
+		i    int
+		want int64
+	}{
+		{-1, 0}, {0, 1}, {3, 1}, {4, 3}, {8, 3}, {9, 6}, {100, 6},
+	}
+	for _, c := range cases {
+		if got := tr.PrefixSum(c.i); got != c.want {
+			t.Errorf("PrefixSum(%d) = %d, want %d", c.i, got, c.want)
+		}
+	}
+	if got := tr.RangeSum(1, 4); got != 2 {
+		t.Errorf("RangeSum(1,4) = %d, want 2", got)
+	}
+	if got := tr.RangeSum(5, 3); got != 0 {
+		t.Errorf("RangeSum empty = %d, want 0", got)
+	}
+	if got := tr.Total(); got != 6 {
+		t.Errorf("Total = %d, want 6", got)
+	}
+}
+
+func TestAgainstNaiveModel(t *testing.T) {
+	const n = 257
+	tr := New(n)
+	model := make(naive, n)
+	rng := xrand.NewSource(1234)
+	for op := 0; op < 5000; op++ {
+		i := rng.Intn(n)
+		delta := int64(rng.Intn(7)) - 3
+		tr.Add(i, delta)
+		model[i] += delta
+		q := rng.Intn(n)
+		if got, want := tr.PrefixSum(q), model.prefixSum(q); got != want {
+			t.Fatalf("op %d: PrefixSum(%d) = %d, want %d", op, q, got, want)
+		}
+	}
+}
+
+func TestFindKthOnPresenceTree(t *testing.T) {
+	// 0/1 tree: FindKth(k) must return the k-th smallest present index.
+	const n = 100
+	tr := New(n)
+	present := []int{3, 7, 7, 20, 55, 99} // index 7 has multiplicity 2
+	for _, i := range present {
+		tr.Add(i, 1)
+	}
+	wants := []int{3, 7, 7, 20, 55, 99}
+	for k, want := range wants {
+		got, ok := tr.FindKth(int64(k + 1))
+		if !ok || got != want {
+			t.Errorf("FindKth(%d) = (%d,%v), want (%d,true)", k+1, got, ok, want)
+		}
+	}
+	if _, ok := tr.FindKth(int64(len(wants) + 1)); ok {
+		t.Error("FindKth beyond total returned ok")
+	}
+	if _, ok := tr.FindKth(0); ok {
+		t.Error("FindKth(0) returned ok")
+	}
+}
+
+func TestFindKthPowerOfTwoBoundary(t *testing.T) {
+	// Exercise sizes around powers of two where the binary-lifting loop has
+	// its edge cases.
+	for _, n := range []int{1, 2, 3, 4, 7, 8, 9, 15, 16, 17} {
+		tr := New(n)
+		for i := 0; i < n; i++ {
+			tr.Add(i, 1)
+		}
+		for k := 1; k <= n; k++ {
+			got, ok := tr.FindKth(int64(k))
+			if !ok || got != k-1 {
+				t.Errorf("n=%d: FindKth(%d) = (%d,%v), want (%d,true)", n, k, got, ok, k-1)
+			}
+		}
+		if _, ok := tr.FindKth(int64(n + 1)); ok {
+			t.Errorf("n=%d: FindKth(n+1) returned ok", n)
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	tr := New(16)
+	for i := 0; i < 16; i++ {
+		tr.Add(i, int64(i))
+	}
+	tr.Reset()
+	if tr.Total() != 0 {
+		t.Fatalf("Total after Reset = %d", tr.Total())
+	}
+	tr.Add(3, 5)
+	if tr.PrefixSum(15) != 5 {
+		t.Fatal("tree unusable after Reset")
+	}
+}
+
+func TestAddPanicsOutOfRange(t *testing.T) {
+	tr := New(4)
+	for _, i := range []int{-1, 4, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Add(%d) did not panic", i)
+				}
+			}()
+			tr.Add(i, 1)
+		}()
+	}
+}
+
+func TestQuickPrefixSumMatchesModel(t *testing.T) {
+	check := func(adds []uint16, queries []uint16) bool {
+		const n = 64
+		tr := New(n)
+		model := make(naive, n)
+		for _, a := range adds {
+			i := int(a) % n
+			tr.Add(i, 1)
+			model[i]++
+		}
+		for _, q := range queries {
+			i := int(q) % n
+			if tr.PrefixSum(i) != model.prefixSum(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickFindKthMatchesModel(t *testing.T) {
+	check := func(adds []uint16, k uint8) bool {
+		const n = 64
+		tr := New(n)
+		var flat []int
+		for _, a := range adds {
+			i := int(a) % n
+			tr.Add(i, 1)
+			flat = append(flat, i)
+		}
+		// Model: sort and pick k-th.
+		counts := make([]int, n)
+		for _, i := range flat {
+			counts[i]++
+		}
+		kk := int64(k%64) + 1
+		var want int
+		var found bool
+		var run int64
+		for i := 0; i < n; i++ {
+			run += int64(counts[i])
+			if run >= kk {
+				want, found = i, true
+				break
+			}
+		}
+		got, ok := tr.FindKth(kk)
+		if ok != found {
+			return false
+		}
+		return !ok || got == want
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	tr := New(1 << 20)
+	rng := xrand.NewSource(1)
+	for i := 0; i < b.N; i++ {
+		tr.Add(rng.Intn(1<<20), 1)
+	}
+}
+
+func BenchmarkPrefixSum(b *testing.B) {
+	tr := New(1 << 20)
+	rng := xrand.NewSource(1)
+	for i := 0; i < 1<<16; i++ {
+		tr.Add(rng.Intn(1<<20), 1)
+	}
+	b.ResetTimer()
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		sink += tr.PrefixSum(rng.Intn(1 << 20))
+	}
+	_ = sink
+}
+
+func BenchmarkFindKth(b *testing.B) {
+	tr := New(1 << 20)
+	rng := xrand.NewSource(1)
+	for i := 0; i < 1<<16; i++ {
+		tr.Add(rng.Intn(1<<20), 1)
+	}
+	total := tr.Total()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.FindKth(1 + int64(rng.Intn(int(total))))
+	}
+}

@@ -1,0 +1,216 @@
+// Package graph provides the graph substrate for the paper's single-source
+// shortest-path benchmark (§5, Figure 3): compact CSR graphs, synthetic
+// generators (including a road-network surrogate for the California road
+// graph used by the paper — see DESIGN.md for the substitution), a
+// sequential Dijkstra reference, and a parallel label-correcting SSSP driver
+// that runs over any relaxed concurrent priority queue.
+package graph
+
+import (
+	"fmt"
+
+	"powerchoice/internal/xrand"
+)
+
+// Graph is a directed weighted graph in compressed sparse row form.
+// Node IDs are 0..NumNodes-1; weights are positive.
+type Graph struct {
+	offsets []int32  // len = n+1
+	targets []int32  // len = m
+	weights []uint32 // len = m
+}
+
+// NumNodes returns the node count.
+func (g *Graph) NumNodes() int { return len(g.offsets) - 1 }
+
+// NumEdges returns the directed edge count.
+func (g *Graph) NumEdges() int { return len(g.targets) }
+
+// Degree returns the out-degree of node u.
+func (g *Graph) Degree(u int) int {
+	return int(g.offsets[u+1] - g.offsets[u])
+}
+
+// Neighbors returns the targets and weights of u's out-edges. The returned
+// slices alias internal storage and must not be modified.
+func (g *Graph) Neighbors(u int) ([]int32, []uint32) {
+	lo, hi := g.offsets[u], g.offsets[u+1]
+	return g.targets[lo:hi], g.weights[lo:hi]
+}
+
+// edge is a builder-side directed edge.
+type edge struct {
+	from, to int32
+	w        uint32
+}
+
+// Builder accumulates edges and produces a CSR Graph.
+type Builder struct {
+	n     int
+	edges []edge
+}
+
+// NewBuilder returns a builder for a graph with n nodes.
+func NewBuilder(n int) *Builder {
+	return &Builder{n: n}
+}
+
+// AddEdge adds the directed edge u→v with weight w (clamped up to 1: zero
+// weights would let Dijkstra loop on zero-cost cycles).
+func (b *Builder) AddEdge(u, v int, w uint32) error {
+	if u < 0 || u >= b.n || v < 0 || v >= b.n {
+		return fmt.Errorf("graph: edge (%d,%d) outside [0,%d)", u, v, b.n)
+	}
+	if w == 0 {
+		w = 1
+	}
+	b.edges = append(b.edges, edge{from: int32(u), to: int32(v), w: w})
+	return nil
+}
+
+// AddBoth adds both directions with the same weight.
+func (b *Builder) AddBoth(u, v int, w uint32) error {
+	if err := b.AddEdge(u, v, w); err != nil {
+		return err
+	}
+	return b.AddEdge(v, u, w)
+}
+
+// Build produces the CSR graph. The builder remains usable.
+func (b *Builder) Build() *Graph {
+	g := &Graph{
+		offsets: make([]int32, b.n+1),
+		targets: make([]int32, len(b.edges)),
+		weights: make([]uint32, len(b.edges)),
+	}
+	counts := make([]int32, b.n)
+	for _, e := range b.edges {
+		counts[e.from]++
+	}
+	for i := 0; i < b.n; i++ {
+		g.offsets[i+1] = g.offsets[i] + counts[i]
+	}
+	cursor := make([]int32, b.n)
+	copy(cursor, g.offsets[:b.n])
+	for _, e := range b.edges {
+		g.targets[cursor[e.from]] = e.to
+		g.weights[cursor[e.from]] = e.w
+		cursor[e.from]++
+	}
+	return g
+}
+
+// RoadNetwork generates a synthetic road-network surrogate: a W×H grid of
+// intersections with 4-neighbour streets, a fraction of diagonal shortcuts,
+// and perturbed Euclidean weights. Like real road networks (and unlike
+// G(n,m)), it is near-planar with bounded degree and Θ(sqrt n) diameter —
+// the regime where priority-queue quality dominates parallel SSSP time.
+func RoadNetwork(w, h int, diagFrac float64, seed uint64) (*Graph, error) {
+	if w < 2 || h < 2 {
+		return nil, fmt.Errorf("graph: RoadNetwork needs w,h >= 2, got %dx%d", w, h)
+	}
+	if diagFrac < 0 || diagFrac > 1 {
+		return nil, fmt.Errorf("graph: diagFrac %v outside [0,1]", diagFrac)
+	}
+	rng := xrand.NewSource(seed)
+	b := NewBuilder(w * h)
+	id := func(x, y int) int { return y*w + x }
+	// Street weights: ~100 units per block with ±30% jitter.
+	jitter := func(base float64) uint32 {
+		return uint32(base * (0.7 + 0.6*rng.Float64()))
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x+1 < w {
+				if err := b.AddBoth(id(x, y), id(x+1, y), jitter(100)); err != nil {
+					return nil, err
+				}
+			}
+			if y+1 < h {
+				if err := b.AddBoth(id(x, y), id(x, y+1), jitter(100)); err != nil {
+					return nil, err
+				}
+			}
+			if x+1 < w && y+1 < h && rng.Float64() < diagFrac {
+				if err := b.AddBoth(id(x, y), id(x+1, y+1), jitter(141)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return b.Build(), nil
+}
+
+// RandomGeometric generates a random geometric-like graph: n nodes on a unit
+// square connected to their lattice-bucket neighbours within the given
+// radius, weights proportional to distance.
+func RandomGeometric(n int, radius float64, seed uint64) (*Graph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("graph: RandomGeometric needs n >= 2")
+	}
+	if radius <= 0 || radius > 1 {
+		return nil, fmt.Errorf("graph: radius %v outside (0,1]", radius)
+	}
+	rng := xrand.NewSource(seed)
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xs[i], ys[i] = rng.Float64(), rng.Float64()
+	}
+	// Bucket grid for neighbour search.
+	cells := int(1 / radius)
+	if cells < 1 {
+		cells = 1
+	}
+	bucket := make(map[[2]int][]int)
+	cellOf := func(i int) [2]int {
+		return [2]int{int(xs[i] * float64(cells)), int(ys[i] * float64(cells))}
+	}
+	for i := 0; i < n; i++ {
+		c := cellOf(i)
+		bucket[c] = append(bucket[c], i)
+	}
+	b := NewBuilder(n)
+	r2 := radius * radius
+	for i := 0; i < n; i++ {
+		c := cellOf(i)
+		for dx := -1; dx <= 1; dx++ {
+			for dy := -1; dy <= 1; dy++ {
+				for _, j := range bucket[[2]int{c[0] + dx, c[1] + dy}] {
+					if j <= i {
+						continue
+					}
+					ddx, ddy := xs[i]-xs[j], ys[i]-ys[j]
+					d2 := ddx*ddx + ddy*ddy
+					if d2 <= r2 {
+						w := uint32(1e6 * d2)
+						if err := b.AddBoth(i, j, w+1); err != nil {
+							return nil, err
+						}
+					}
+				}
+			}
+		}
+	}
+	return b.Build(), nil
+}
+
+// Gnm generates a uniform random directed multigraph with n nodes and m
+// edges, weights uniform in [1, maxW].
+func Gnm(n, m int, maxW uint32, seed uint64) (*Graph, error) {
+	if n < 2 || m < 1 {
+		return nil, fmt.Errorf("graph: Gnm needs n >= 2, m >= 1")
+	}
+	if maxW == 0 {
+		maxW = 1
+	}
+	rng := xrand.NewSource(seed)
+	b := NewBuilder(n)
+	for i := 0; i < m; i++ {
+		u, v := rng.TwoDistinct(n)
+		if err := b.AddEdge(u, v, uint32(rng.Intn(int(maxW)))+1); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build(), nil
+}

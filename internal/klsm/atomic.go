@@ -1,0 +1,6 @@
+package klsm
+
+import "sync/atomic"
+
+// atomicInt64 keeps field declarations concise.
+type atomicInt64 = atomic.Int64

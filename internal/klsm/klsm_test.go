@@ -1,0 +1,359 @@
+package klsm
+
+import (
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"powerchoice/internal/xrand"
+)
+
+func mustNew[V any](t *testing.T, k, bound int) *Queue[V] {
+	t.Helper()
+	q, err := New[V](k, bound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func TestNewValidates(t *testing.T) {
+	if _, err := New[int](0, 8); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := New[int](-1, 8); err == nil {
+		t.Error("negative k accepted")
+	}
+	q, err := New[int](4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.K() != 4 {
+		t.Errorf("K = %d", q.K())
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	q := mustNew[int](t, 8, 4)
+	h := q.Handle()
+	if _, _, ok := h.DeleteMin(); ok {
+		t.Fatal("DeleteMin on empty returned ok")
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+}
+
+func TestK1Unbuffered_IsExact(t *testing.T) {
+	// With k=1 and insertBound=1, a single handle behaves like an exact PQ.
+	q := mustNew[int](t, 1, 1)
+	h := q.Handle()
+	rng := xrand.NewSource(1)
+	const n = 2000
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = rng.Uint64() % 10000
+		h.Insert(keys[i], i)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for i, want := range keys {
+		k, _, ok := h.DeleteMin()
+		if !ok || k != want {
+			t.Fatalf("pop %d = (%d,%v), want %d", i, k, ok, want)
+		}
+	}
+}
+
+func TestSingleHandleMultisetPreservation(t *testing.T) {
+	q := mustNew[int](t, 16, 8)
+	h := q.Handle()
+	rng := xrand.NewSource(2)
+	const n = 5000
+	want := map[uint64]int{}
+	for i := 0; i < n; i++ {
+		k := rng.Uint64() % 500
+		want[k]++
+		h.Insert(k, i)
+	}
+	got := map[uint64]int{}
+	for i := 0; i < n; i++ {
+		k, _, ok := h.DeleteMin()
+		if !ok {
+			t.Fatalf("drained at %d", i)
+		}
+		got[k]++
+	}
+	for k, c := range want {
+		if got[k] != c {
+			t.Fatalf("key %d: %d, want %d", k, got[k], c)
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+}
+
+func TestFlushPublishesBufferedInserts(t *testing.T) {
+	q := mustNew[int](t, 4, 100)
+	producer := q.Handle()
+	consumer := q.Handle()
+	producer.Insert(5, 5)
+	producer.Insert(3, 3)
+	if producer.Buffered() != 2 {
+		t.Fatalf("Buffered = %d", producer.Buffered())
+	}
+	// Consumer cannot see unflushed elements.
+	if _, _, ok := consumer.DeleteMin(); ok {
+		t.Fatal("consumer saw unflushed elements")
+	}
+	producer.Flush()
+	if producer.Buffered() != 0 {
+		t.Fatal("Flush left elements buffered")
+	}
+	k, _, ok := consumer.DeleteMin()
+	if !ok || k != 3 {
+		t.Fatalf("consumer pop = (%d,%v), want 3", k, ok)
+	}
+}
+
+// TestRelaxationBound verifies the k-LSM contract: a DeleteMin by one handle
+// returns an element among the P·k + P·B smallest present.
+func TestRelaxationBound(t *testing.T) {
+	const k, bound = 16, 8
+	const m = 2000
+	q := mustNew[uint64](t, k, bound)
+	producer := q.Handle()
+	for i := 0; i < m; i++ {
+		producer.Insert(uint64(i), uint64(i))
+	}
+	producer.Flush()
+	h1, h2 := q.Handle(), q.Handle()
+	// Interleave deletions; each must be within (#handles)·k of the global
+	// running minimum (bound is loose but tight enough to catch breakage).
+	popped := map[uint64]bool{}
+	for i := 0; i < m/2; i++ {
+		h := h1
+		if i%2 == 1 {
+			h = h2
+		}
+		key, _, ok := h.DeleteMin()
+		if !ok {
+			t.Fatal("unexpected empty")
+		}
+		if popped[key] {
+			t.Fatalf("key %d popped twice", key)
+		}
+		popped[key] = true
+		// Global minimum still present:
+		var minPresent uint64
+		for l := uint64(0); l < m; l++ {
+			if !popped[l] {
+				minPresent = l
+				break
+			}
+		}
+		slack := uint64(3 * k)
+		if key > minPresent+slack {
+			t.Fatalf("pop %d: key %d exceeds min-present %d + slack %d", i, key, minPresent, slack)
+		}
+	}
+}
+
+func TestConcurrentMultisetPreservation(t *testing.T) {
+	const workers = 8
+	const perWorker = 10000
+	q := mustNew[uint64](t, 64, 8)
+	var wg sync.WaitGroup
+	handles := make([]*Handle[uint64], workers)
+	for w := range handles {
+		handles[w] = q.Handle()
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := handles[w]
+			for i := 0; i < perWorker; i++ {
+				k := uint64(w*perWorker + i)
+				h.Insert(k, k)
+			}
+			h.Flush()
+		}(w)
+	}
+	wg.Wait()
+	if q.Len() != workers*perWorker {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	results := make([][]uint64, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := q.Handle()
+			var out []uint64
+			for {
+				k, v, ok := h.DeleteMin()
+				if !ok {
+					break
+				}
+				if k != v {
+					t.Errorf("key %d carried %d", k, v)
+					return
+				}
+				out = append(out, k)
+			}
+			results[w] = out
+		}(w)
+	}
+	wg.Wait()
+	seen := make([]bool, workers*perWorker)
+	total := 0
+	for _, out := range results {
+		for _, k := range out {
+			if seen[k] {
+				t.Fatalf("key %d deleted twice", k)
+			}
+			seen[k] = true
+			total++
+		}
+	}
+	if total != workers*perWorker {
+		t.Fatalf("recovered %d of %d", total, workers*perWorker)
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d after drain", q.Len())
+	}
+}
+
+func TestStashServesWithoutLock(t *testing.T) {
+	q := mustNew[int](t, 8, 1)
+	h := q.Handle()
+	for i := 0; i < 8; i++ {
+		h.Insert(uint64(i), i)
+	}
+	// First DeleteMin spies a batch of up to k=8.
+	if _, _, ok := h.DeleteMin(); !ok {
+		t.Fatal("unexpected empty")
+	}
+	if h.Stash() != 7 {
+		t.Fatalf("Stash = %d, want 7", h.Stash())
+	}
+	// Subsequent deletes serve from the stash.
+	for i := 1; i < 8; i++ {
+		k, _, ok := h.DeleteMin()
+		if !ok || k != uint64(i) {
+			t.Fatalf("pop = (%d,%v), want %d", k, ok, i)
+		}
+	}
+}
+
+// TestQuickExactModeMatchesReference: with k=1 and insertBound=1 a single
+// handle is an exact priority queue; random op traces must match a sorted
+// reference exactly.
+func TestQuickExactModeMatchesReference(t *testing.T) {
+	check := func(ops []uint16) bool {
+		q, err := New[struct{}](1, 1)
+		if err != nil {
+			return false
+		}
+		h := q.Handle()
+		var ref []uint64
+		for _, op := range ops {
+			if len(ref) == 0 || op%3 != 0 {
+				k := uint64(op % 500)
+				h.Insert(k, struct{}{})
+				ref = append(ref, k)
+				sort.Slice(ref, func(i, j int) bool { return ref[i] < ref[j] })
+			} else {
+				got, _, ok := h.DeleteMin()
+				if !ok || got != ref[0] {
+					return false
+				}
+				ref = ref[1:]
+			}
+		}
+		return q.Len() == len(ref)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickMultisetAnyParams: any (k, bound) preserves the multiset through
+// a single handle.
+func TestQuickMultisetAnyParams(t *testing.T) {
+	check := func(keys []uint16, kRaw, boundRaw uint8) bool {
+		q, err := New[struct{}](int(kRaw%64)+1, int(boundRaw%16)+1)
+		if err != nil {
+			return false
+		}
+		h := q.Handle()
+		want := map[uint64]int{}
+		for _, k := range keys {
+			want[uint64(k)]++
+			h.Insert(uint64(k), struct{}{})
+		}
+		got := map[uint64]int{}
+		for {
+			k, _, ok := h.DeleteMin()
+			if !ok {
+				break
+			}
+			got[k]++
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for k, c := range want {
+			if got[k] != c {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkInsertDeleteSequential(b *testing.B) {
+	q, err := New[struct{}](256, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := q.Handle()
+	rng := xrand.NewSource(1)
+	for i := 0; i < 1024; i++ {
+		h.Insert(rng.Uint64(), struct{}{})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Insert(rng.Uint64(), struct{}{})
+		h.DeleteMin()
+	}
+}
+
+func BenchmarkInsertDeleteParallel(b *testing.B) {
+	q, err := New[struct{}](256, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var mu sync.Mutex
+	var seed uint64
+	b.RunParallel(func(pb *testing.PB) {
+		mu.Lock()
+		seed++
+		s := seed
+		mu.Unlock()
+		h := q.Handle()
+		rng := xrand.NewSource(s)
+		for i := 0; i < 256; i++ {
+			h.Insert(rng.Uint64(), struct{}{})
+		}
+		for pb.Next() {
+			h.Insert(rng.Uint64(), struct{}{})
+			h.DeleteMin()
+		}
+	})
+}

@@ -1,0 +1,201 @@
+// Package pqadapt adapts each concurrent priority queue in this repository
+// to the graph.ConcurrentPQ interface, so the parallel SSSP driver and the
+// benchmark harness can treat them uniformly. It also names the line-up of
+// implementations benchmarked by the paper's Figures 1–3.
+package pqadapt
+
+import (
+	"fmt"
+	"sync"
+
+	"powerchoice/internal/core"
+	"powerchoice/internal/graph"
+	"powerchoice/internal/klsm"
+	"powerchoice/internal/pqueue"
+	"powerchoice/internal/skiplist"
+)
+
+// Impl names a concurrent priority queue implementation.
+type Impl string
+
+// The benchmark line-up (§5).
+const (
+	// ImplMultiQueue is the original MultiQueue (β = 1).
+	ImplMultiQueue Impl = "multiqueue"
+	// ImplOneBeta75 is the paper's (1+β) MultiQueue with β = 0.75.
+	ImplOneBeta75 Impl = "onebeta75"
+	// ImplOneBeta50 is the paper's (1+β) MultiQueue with β = 0.5.
+	ImplOneBeta50 Impl = "onebeta50"
+	// ImplSkipList is the Lindén–Jonsson-style skiplist (exact PQ).
+	ImplSkipList Impl = "skiplist"
+	// ImplKLSM is the k-LSM-style relaxed queue with k = 256.
+	ImplKLSM Impl = "klsm256"
+	// ImplGlobalLock is a mutex-protected binary heap, the naive baseline.
+	ImplGlobalLock Impl = "globallock"
+)
+
+// Impls lists the full benchmark line-up in presentation order.
+func Impls() []Impl {
+	return []Impl{
+		ImplOneBeta50, ImplOneBeta75, ImplMultiQueue,
+		ImplSkipList, ImplKLSM, ImplGlobalLock,
+	}
+}
+
+// Queue is a graph.ConcurrentPQ with a size accessor, satisfied by every
+// adapter in this package.
+type Queue interface {
+	graph.ConcurrentPQ
+	Len() int
+}
+
+// New constructs the named implementation, seeded deterministically.
+func New(impl Impl, seed uint64) (Queue, error) {
+	switch impl {
+	case ImplMultiQueue:
+		return newMultiQueue(1, seed)
+	case ImplOneBeta75:
+		return newMultiQueue(0.75, seed)
+	case ImplOneBeta50:
+		return newMultiQueue(0.5, seed)
+	case ImplSkipList:
+		return &skipAdapter{s: skiplist.New[int32](seed)}, nil
+	case ImplKLSM:
+		q, err := klsm.New[int32](256, 8)
+		if err != nil {
+			return nil, err
+		}
+		return &klsmAdapter{q: q}, nil
+	case ImplGlobalLock:
+		return &lockedHeap{h: pqueue.NewBinaryHeap[int32]()}, nil
+	default:
+		return nil, fmt.Errorf("pqadapt: unknown implementation %q", impl)
+	}
+}
+
+// NewMultiQueueBeta constructs a (1+β) MultiQueue adapter with an arbitrary
+// β, for the β-sweep experiments (Figure 2, ablation A2).
+func NewMultiQueueBeta(beta float64, queues int, seed uint64) (Queue, error) {
+	opts := []core.Option{core.WithBeta(beta), core.WithSeed(seed)}
+	if queues > 0 {
+		opts = append(opts, core.WithQueues(queues))
+	}
+	mq, err := core.New[int32](opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &mqAdapter{mq: mq}, nil
+}
+
+func newMultiQueue(beta float64, seed uint64) (Queue, error) {
+	mq, err := core.New[int32](core.WithBeta(beta), core.WithSeed(seed))
+	if err != nil {
+		return nil, err
+	}
+	return &mqAdapter{mq: mq}, nil
+}
+
+// mqAdapter adapts core.MultiQueue.
+type mqAdapter struct {
+	mq *core.MultiQueue[int32]
+}
+
+var _ graph.WorkerLocal = (*mqAdapter)(nil)
+
+func (a *mqAdapter) Insert(key uint64, node int32) { a.mq.Insert(key, node) }
+func (a *mqAdapter) DeleteMin() (uint64, int32, bool) {
+	return a.mq.DeleteMin()
+}
+func (a *mqAdapter) Len() int { return a.mq.Len() }
+
+// Local returns a handle-backed per-goroutine view.
+func (a *mqAdapter) Local() graph.ConcurrentPQ {
+	return &mqLocal{h: a.mq.Handle()}
+}
+
+type mqLocal struct {
+	h *core.Handle[int32]
+}
+
+func (l *mqLocal) Insert(key uint64, node int32)    { l.h.Insert(key, node) }
+func (l *mqLocal) DeleteMin() (uint64, int32, bool) { return l.h.DeleteMin() }
+
+// skipAdapter adapts skiplist.SkipList (already goroutine-agnostic).
+type skipAdapter struct {
+	s *skiplist.SkipList[int32]
+}
+
+func (a *skipAdapter) Insert(key uint64, node int32)    { a.s.Insert(key, node) }
+func (a *skipAdapter) DeleteMin() (uint64, int32, bool) { return a.s.DeleteMin() }
+func (a *skipAdapter) Len() int                         { return a.s.Len() }
+
+// klsmAdapter adapts klsm.Queue. The shared adapter keeps one fallback
+// handle under a mutex for callers that do not request a local view; worker
+// loops get genuine per-goroutine handles via Local.
+type klsmAdapter struct {
+	q  *klsm.Queue[int32]
+	mu sync.Mutex
+	h  *klsm.Handle[int32]
+}
+
+var _ graph.WorkerLocal = (*klsmAdapter)(nil)
+
+func (a *klsmAdapter) handle() *klsm.Handle[int32] {
+	if a.h == nil {
+		a.h = a.q.Handle()
+	}
+	return a.h
+}
+
+func (a *klsmAdapter) Insert(key uint64, node int32) {
+	a.mu.Lock()
+	h := a.handle()
+	h.Insert(key, node)
+	h.Flush()
+	a.mu.Unlock()
+}
+
+func (a *klsmAdapter) DeleteMin() (uint64, int32, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.handle().DeleteMin()
+}
+
+func (a *klsmAdapter) Len() int { return a.q.Len() }
+
+// Local returns a per-goroutine k-LSM handle view.
+func (a *klsmAdapter) Local() graph.ConcurrentPQ {
+	return &klsmLocal{h: a.q.Handle()}
+}
+
+type klsmLocal struct {
+	h *klsm.Handle[int32]
+}
+
+func (l *klsmLocal) Insert(key uint64, node int32)    { l.h.Insert(key, node) }
+func (l *klsmLocal) DeleteMin() (uint64, int32, bool) { return l.h.DeleteMin() }
+
+// lockedHeap is the global-lock baseline: a binary heap behind one mutex.
+type lockedHeap struct {
+	mu sync.Mutex
+	h  *pqueue.BinaryHeap[int32]
+}
+
+func (l *lockedHeap) Insert(key uint64, node int32) {
+	l.mu.Lock()
+	l.h.Push(key, node)
+	l.mu.Unlock()
+}
+
+func (l *lockedHeap) DeleteMin() (uint64, int32, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	it, ok := l.h.PopMin()
+	return it.Key, it.Value, ok
+}
+
+func (l *lockedHeap) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.h.Len()
+}

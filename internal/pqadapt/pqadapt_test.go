@@ -1,0 +1,168 @@
+package pqadapt
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"powerchoice/internal/graph"
+	"powerchoice/internal/xrand"
+)
+
+func TestNewRejectsUnknown(t *testing.T) {
+	if _, err := New(Impl("nope"), 1); err == nil {
+		t.Error("unknown impl accepted")
+	}
+}
+
+func TestImplsConstructible(t *testing.T) {
+	for _, impl := range Impls() {
+		if _, err := New(impl, 1); err != nil {
+			t.Errorf("New(%q): %v", impl, err)
+		}
+	}
+}
+
+func TestAllImplsRoundTrip(t *testing.T) {
+	for _, impl := range Impls() {
+		impl := impl
+		t.Run(string(impl), func(t *testing.T) {
+			q, err := New(impl, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			const n = 2000
+			for i := 0; i < n; i++ {
+				q.Insert(uint64(i), int32(i))
+			}
+			if q.Len() != n {
+				t.Fatalf("Len = %d", q.Len())
+			}
+			seen := make([]bool, n)
+			for i := 0; i < n; i++ {
+				k, v, ok := q.DeleteMin()
+				if !ok {
+					t.Fatalf("drained at %d", i)
+				}
+				if uint64(v) != k {
+					t.Fatalf("key %d carried value %d", k, v)
+				}
+				if seen[k] {
+					t.Fatalf("key %d twice", k)
+				}
+				seen[k] = true
+			}
+			if q.Len() != 0 {
+				t.Fatalf("Len = %d after drain", q.Len())
+			}
+		})
+	}
+}
+
+func TestExactImplsAreSorted(t *testing.T) {
+	// The skiplist and global-lock heap are exact priority queues; their
+	// single-threaded pop sequence must be globally sorted.
+	for _, impl := range []Impl{ImplSkipList, ImplGlobalLock} {
+		impl := impl
+		t.Run(string(impl), func(t *testing.T) {
+			q, err := New(impl, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := xrand.NewSource(4)
+			keys := make([]uint64, 1000)
+			for i := range keys {
+				keys[i] = rng.Uint64() % 10000
+				q.Insert(keys[i], 0)
+			}
+			sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+			for i, want := range keys {
+				k, _, ok := q.DeleteMin()
+				if !ok || k != want {
+					t.Fatalf("pop %d = (%d,%v), want %d", i, k, ok, want)
+				}
+			}
+		})
+	}
+}
+
+func TestWorkerLocalImpls(t *testing.T) {
+	// MultiQueue and k-LSM adapters must provide local views; local views
+	// must see globally published elements.
+	for _, impl := range []Impl{ImplMultiQueue, ImplOneBeta50, ImplOneBeta75, ImplKLSM} {
+		impl := impl
+		t.Run(string(impl), func(t *testing.T) {
+			q, err := New(impl, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wl, ok := q.(graph.WorkerLocal)
+			if !ok {
+				t.Fatalf("%s does not implement WorkerLocal", impl)
+			}
+			q.Insert(42, 42)
+			local := wl.Local()
+			k, v, ok := local.DeleteMin()
+			if !ok || k != 42 || v != 42 {
+				t.Fatalf("local view pop = (%d,%d,%v)", k, v, ok)
+			}
+		})
+	}
+}
+
+func TestNewMultiQueueBeta(t *testing.T) {
+	q, err := NewMultiQueueBeta(0.5, 6, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Insert(1, 1)
+	if _, _, ok := q.DeleteMin(); !ok {
+		t.Fatal("empty after insert")
+	}
+	if _, err := NewMultiQueueBeta(-1, 4, 7); err == nil {
+		t.Error("negative beta accepted")
+	}
+}
+
+func TestConcurrentSmokeAllImpls(t *testing.T) {
+	for _, impl := range Impls() {
+		impl := impl
+		t.Run(string(impl), func(t *testing.T) {
+			q, err := New(impl, 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			const workers = 4
+			const per = 2000
+			const total = workers * per
+			// Deletions are counted globally: with the k-LSM a worker's last
+			// few inserts can sit in its local buffer, visible only to that
+			// worker, so per-worker delete quotas could deadlock.
+			var deleted atomic.Int64
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					view := graph.ConcurrentPQ(q)
+					if wl, ok := q.(graph.WorkerLocal); ok {
+						view = wl.Local()
+					}
+					for i := 0; i < per; i++ {
+						view.Insert(uint64(w*per+i), int32(i))
+					}
+					for deleted.Load() < total {
+						if _, _, ok := view.DeleteMin(); ok {
+							deleted.Add(1)
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			if deleted.Load() != total {
+				t.Fatalf("deleted %d of %d", deleted.Load(), total)
+			}
+		})
+	}
+}

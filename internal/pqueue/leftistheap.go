@@ -1,0 +1,76 @@
+package pqueue
+
+// LeftistHeap is a mergeable heap maintaining the leftist invariant: the
+// null-path length of every left child is at least that of its sibling, so
+// the rightmost path has length O(log n) and melds walk only that path.
+type LeftistHeap[V any] struct {
+	root *leftistNode[V]
+	size int
+}
+
+type leftistNode[V any] struct {
+	item        Item[V]
+	left, right *leftistNode[V]
+	npl         int32 // null-path length
+}
+
+var _ Queue[int] = (*LeftistHeap[int])(nil)
+
+// NewLeftistHeap returns an empty leftist heap.
+func NewLeftistHeap[V any]() *LeftistHeap[V] {
+	return &LeftistHeap[V]{}
+}
+
+// Len returns the number of stored elements.
+func (h *LeftistHeap[V]) Len() int { return h.size }
+
+// Push inserts an element.
+func (h *LeftistHeap[V]) Push(key uint64, value V) {
+	h.root = leftistMeld(h.root, &leftistNode[V]{item: Item[V]{Key: key, Value: value}})
+	h.size++
+}
+
+// PeekMin returns the minimum element without removing it.
+func (h *LeftistHeap[V]) PeekMin() (Item[V], bool) {
+	if h.root == nil {
+		return Item[V]{}, false
+	}
+	return h.root.item, true
+}
+
+// PopMin removes and returns the minimum element.
+func (h *LeftistHeap[V]) PopMin() (Item[V], bool) {
+	if h.root == nil {
+		return Item[V]{}, false
+	}
+	top := h.root.item
+	h.root = leftistMeld(h.root.left, h.root.right)
+	h.size--
+	return top, true
+}
+
+func npl[V any](n *leftistNode[V]) int32 {
+	if n == nil {
+		return -1
+	}
+	return n.npl
+}
+
+// leftistMeld merges two leftist heaps along their rightmost paths.
+func leftistMeld[V any](a, b *leftistNode[V]) *leftistNode[V] {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	if b.item.Key < a.item.Key {
+		a, b = b, a
+	}
+	a.right = leftistMeld(a.right, b)
+	if npl(a.left) < npl(a.right) {
+		a.left, a.right = a.right, a.left
+	}
+	a.npl = npl(a.right) + 1
+	return a
+}

@@ -1,0 +1,96 @@
+package pqueue
+
+// PairingHeap is a pointer-based pairing heap: O(1) amortised Push and
+// O(log n) amortised PopMin via two-pass pairing of the root's children.
+type PairingHeap[V any] struct {
+	root *pairNode[V]
+	size int
+}
+
+type pairNode[V any] struct {
+	item    Item[V]
+	child   *pairNode[V] // leftmost child
+	sibling *pairNode[V] // next sibling to the right
+}
+
+var _ Queue[int] = (*PairingHeap[int])(nil)
+
+// NewPairingHeap returns an empty pairing heap.
+func NewPairingHeap[V any]() *PairingHeap[V] {
+	return &PairingHeap[V]{}
+}
+
+// Len returns the number of stored elements.
+func (h *PairingHeap[V]) Len() int { return h.size }
+
+// Push inserts an element.
+func (h *PairingHeap[V]) Push(key uint64, value V) {
+	n := &pairNode[V]{item: Item[V]{Key: key, Value: value}}
+	h.root = meld(h.root, n)
+	h.size++
+}
+
+// PeekMin returns the minimum element without removing it.
+func (h *PairingHeap[V]) PeekMin() (Item[V], bool) {
+	if h.root == nil {
+		return Item[V]{}, false
+	}
+	return h.root.item, true
+}
+
+// PopMin removes and returns the minimum element.
+func (h *PairingHeap[V]) PopMin() (Item[V], bool) {
+	if h.root == nil {
+		return Item[V]{}, false
+	}
+	top := h.root.item
+	h.root = mergePairs(h.root.child)
+	h.size--
+	return top, true
+}
+
+// meld links two heaps, making the larger-rooted one the leftmost child of
+// the other. Ties go to a, keeping melds stable.
+func meld[V any](a, b *pairNode[V]) *pairNode[V] {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	if b.item.Key < a.item.Key {
+		a, b = b, a
+	}
+	b.sibling = a.child
+	a.child = b
+	return a
+}
+
+// mergePairs performs the standard two-pass pairing over a sibling list.
+// It is written iteratively so deep heaps cannot overflow the stack.
+func mergePairs[V any](first *pairNode[V]) *pairNode[V] {
+	if first == nil {
+		return nil
+	}
+	// Pass 1: meld siblings pairwise left to right.
+	var paired []*pairNode[V]
+	for first != nil {
+		a := first
+		b := a.sibling
+		if b == nil {
+			a.sibling = nil
+			paired = append(paired, a)
+			break
+		}
+		next := b.sibling
+		a.sibling, b.sibling = nil, nil
+		paired = append(paired, meld(a, b))
+		first = next
+	}
+	// Pass 2: meld the results right to left.
+	res := paired[len(paired)-1]
+	for i := len(paired) - 2; i >= 0; i-- {
+		res = meld(paired[i], res)
+	}
+	return res
+}

@@ -1,0 +1,74 @@
+package pqueue
+
+// SkewHeap is a self-adjusting mergeable heap: every meld swaps children
+// along the merge path, giving O(log n) amortised Push and PopMin with no
+// balance bookkeeping at all.
+type SkewHeap[V any] struct {
+	root *skewNode[V]
+	size int
+}
+
+type skewNode[V any] struct {
+	item        Item[V]
+	left, right *skewNode[V]
+}
+
+var _ Queue[int] = (*SkewHeap[int])(nil)
+
+// NewSkewHeap returns an empty skew heap.
+func NewSkewHeap[V any]() *SkewHeap[V] {
+	return &SkewHeap[V]{}
+}
+
+// Len returns the number of stored elements.
+func (h *SkewHeap[V]) Len() int { return h.size }
+
+// Push inserts an element.
+func (h *SkewHeap[V]) Push(key uint64, value V) {
+	h.root = skewMeld(h.root, &skewNode[V]{item: Item[V]{Key: key, Value: value}})
+	h.size++
+}
+
+// PeekMin returns the minimum element without removing it.
+func (h *SkewHeap[V]) PeekMin() (Item[V], bool) {
+	if h.root == nil {
+		return Item[V]{}, false
+	}
+	return h.root.item, true
+}
+
+// PopMin removes and returns the minimum element.
+func (h *SkewHeap[V]) PopMin() (Item[V], bool) {
+	if h.root == nil {
+		return Item[V]{}, false
+	}
+	top := h.root.item
+	h.root = skewMeld(h.root.left, h.root.right)
+	h.size--
+	return top, true
+}
+
+// skewMeld merges two skew heaps iteratively (top-down skew merging),
+// avoiding recursion on adversarially deep heaps.
+func skewMeld[V any](a, b *skewNode[V]) *skewNode[V] {
+	var root *skewNode[V]
+	attach := &root
+	for a != nil && b != nil {
+		if b.item.Key < a.item.Key {
+			a, b = b, a
+		}
+		// a has the smaller root: append it, swap its children (the skew
+		// step), and continue merging into its (post-swap) left subtree.
+		*attach = a
+		next := a.right
+		a.right = a.left
+		a.left = nil
+		attach = &a.left
+		a = next
+	}
+	if a == nil {
+		a = b
+	}
+	*attach = a
+	return root
+}

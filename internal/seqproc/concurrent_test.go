@@ -1,0 +1,203 @@
+package seqproc
+
+import "testing"
+
+func TestConcurrentSimValidation(t *testing.T) {
+	if _, err := NewConcurrentSim(8, 0, 1, 100, 1); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := NewConcurrentSim(8, 2, 1.5, 100, 1); err == nil {
+		t.Error("beta > 1 accepted")
+	}
+	if _, err := NewConcurrentSim(0, 2, 1, 100, 1); err == nil {
+		t.Error("n=0 accepted")
+	}
+}
+
+func TestConcurrentSimDrainConsistency(t *testing.T) {
+	cs, err := NewConcurrentSim(8, 4, 1, 800, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.InsertMany(800); err != nil {
+		t.Fatal(err)
+	}
+	seen := make([]bool, 800)
+	for i := 0; i < 800; i++ {
+		r, ok := cs.Step()
+		if !ok {
+			t.Fatalf("drained at %d", i)
+		}
+		if r.Rank < 1 {
+			t.Fatalf("rank %d < 1", r.Rank)
+		}
+		if seen[r.Label] {
+			t.Fatalf("label %d removed twice", r.Label)
+		}
+		seen[r.Label] = true
+	}
+}
+
+// TestConcurrentSimK1MatchesSequential: one thread means choice and removal
+// are adjacent — the rank summary must match the plain sequential process
+// closely.
+func TestConcurrentSimK1MatchesSequential(t *testing.T) {
+	const n = 16
+	const steps = n * 384
+	w, err := ConcurrentRankSummary(n, 1, 1, 64, steps, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	series, err := Run(RunSpec{
+		Cfg:         Config{N: n, Beta: 1, Seed: 6},
+		Prefill:     64 * n,
+		Steps:       steps,
+		SampleEvery: steps / 4,
+		Reinsert:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := w.Mean(), series.Overall.Mean()
+	if a > 2*b+2 || b > 2*a+2 {
+		t.Errorf("k=1 concurrent mean %v vs sequential %v — should agree", a, b)
+	}
+}
+
+// TestConcurrentSimDegradationBounded: staleness costs rank, but gently —
+// even k = 4n concurrent threads stay within a small multiple of the
+// sequential process (the Appendix C conjecture about real
+// implementations).
+func TestConcurrentSimDegradationBounded(t *testing.T) {
+	const n = 16
+	const steps = n * 384
+	means := map[int]float64{}
+	for _, k := range []int{1, 8, 64} {
+		w, err := ConcurrentRankSummary(n, k, 1, 64, steps, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		means[k] = w.Mean()
+	}
+	if means[64] < means[1] {
+		t.Logf("note: k=64 mean %v below k=1 mean %v (noise)", means[64], means[1])
+	}
+	if means[64] > 8*means[1]+float64(n) {
+		t.Errorf("staleness degradation not bounded: k=1 %v, k=64 %v", means[1], means[64])
+	}
+}
+
+func TestGeneralProcessValidation(t *testing.T) {
+	if _, err := NewGeneral(0, 10, 1, 1); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := NewGeneral(4, 0, 1, 1); err == nil {
+		t.Error("empty universe accepted")
+	}
+	if _, err := NewGeneral(4, 10, -1, 1); err == nil {
+		t.Error("negative beta accepted")
+	}
+	g, err := NewGeneral(4, 10, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Insert(10); err == nil {
+		t.Error("out-of-universe priority accepted")
+	}
+	if err := g.Insert(-1); err == nil {
+		t.Error("negative priority accepted")
+	}
+}
+
+func TestGeneralProcessDrain(t *testing.T) {
+	g, err := NewGeneral(4, 1000, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const m = 500
+	inserted := map[int]int{}
+	for i := 0; i < m; i++ {
+		p, err := g.InsertUniformRandom()
+		if err != nil {
+			t.Fatal(err)
+		}
+		inserted[p]++
+	}
+	removed := map[int]int{}
+	for i := 0; i < m; i++ {
+		p, rank, ok := g.Remove()
+		if !ok {
+			t.Fatalf("drained at %d", i)
+		}
+		if rank < 1 || rank > int64(m-i) {
+			t.Fatalf("rank %d out of bounds at step %d", rank, i)
+		}
+		removed[p]++
+	}
+	if _, _, ok := g.Remove(); ok {
+		t.Fatal("removal from empty succeeded")
+	}
+	for p, c := range inserted {
+		if removed[p] != c {
+			t.Fatalf("priority %d: inserted %d removed %d", p, c, removed[p])
+		}
+	}
+}
+
+// TestGeneralProcessSingleQueueExact: n=1 always removes the global
+// minimum, rank 1, even with arbitrary priorities.
+func TestGeneralProcessSingleQueueExact(t *testing.T) {
+	g, err := NewGeneral(1, 100, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		if _, err := g.InsertUniformRandom(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 300; i++ {
+		_, rank, ok := g.Remove()
+		if !ok || rank != 1 {
+			t.Fatalf("step %d: rank %d, want 1", i, rank)
+		}
+	}
+}
+
+// TestGeneralPriorityChurnStaysLinear: under stationary uniform priority
+// churn (insert-after-remove with non-monotone priorities), the mean rank
+// stays a small multiple of n — the §5 claim that the FIFO restriction is
+// an analysis device, not a behavioural cliff.
+func TestGeneralPriorityChurnStaysLinear(t *testing.T) {
+	const n = 16
+	const universe = 1 << 20
+	g, err := NewGeneral(n, universe, 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n*64; i++ {
+		if _, err := g.InsertUniformRandom(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const steps = n * 512
+	var sum float64
+	for s := 0; s < steps; s++ {
+		_, rank, ok := g.Remove()
+		if !ok {
+			t.Fatalf("drained at %d", s)
+		}
+		sum += float64(rank)
+		if _, err := g.InsertUniformRandom(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mean := sum / steps
+	if mean > 4*float64(n) {
+		t.Errorf("general-priority mean rank %v exceeds 4n", mean)
+	}
+	// Sanity floor: with churn, ranks cannot collapse to the exact queue's 1.
+	if mean < 1 {
+		t.Errorf("mean rank %v below 1", mean)
+	}
+}

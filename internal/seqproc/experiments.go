@@ -1,0 +1,291 @@
+package seqproc
+
+import (
+	"fmt"
+	"math"
+
+	"powerchoice/internal/ballsbins"
+	"powerchoice/internal/stats"
+	"powerchoice/internal/xrand"
+)
+
+// RunSpec describes a measured run of the sequential process.
+type RunSpec struct {
+	Cfg Config
+	// Prefill inserts this many labels before any removal (the paper's
+	// "buffer" that keeps executions prefixed, §3).
+	Prefill int
+	// Steps is the number of removal steps to perform.
+	Steps int
+	// SampleEvery controls measurement frequency; at every multiple the
+	// runner records the window-average removed rank and the max top rank.
+	SampleEvery int
+	// Reinsert, when true, follows every removal with an insertion, keeping
+	// the system in the steady state where t can grow without bound.
+	Reinsert bool
+	// Alpha, when positive, additionally records the potential Γ(t).
+	Alpha float64
+}
+
+// RankSeries is the sampled output of Run.
+type RankSeries struct {
+	// T holds the removal-step index of each sample.
+	T []float64
+	// WindowAvgRank holds the mean removed rank within each sample window.
+	WindowAvgRank []float64
+	// MaxTopRank holds the maximum top rank at each sample instant.
+	MaxTopRank []float64
+	// Gamma holds Γ(t) at each sample instant (empty unless Alpha > 0).
+	Gamma []float64
+	// Overall summarises every removed rank of the run.
+	Overall stats.Welford
+	// EmptyInspections counts empty-queue touches (should be 0 when
+	// prefixed).
+	EmptyInspections int64
+}
+
+// Run executes spec and returns the sampled series.
+func Run(spec RunSpec) (*RankSeries, error) {
+	if spec.SampleEvery <= 0 {
+		spec.SampleEvery = 1
+	}
+	capacity := spec.Prefill
+	if spec.Reinsert {
+		capacity += spec.Steps
+	}
+	p, err := New(spec.Cfg, capacity)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.InsertMany(spec.Prefill); err != nil {
+		return nil, err
+	}
+	out := &RankSeries{}
+	var window stats.Welford
+	for step := 1; step <= spec.Steps; step++ {
+		r, ok := p.Remove()
+		if !ok {
+			return nil, fmt.Errorf("seqproc: process drained at step %d", step)
+		}
+		window.Add(float64(r.Rank))
+		out.Overall.Add(float64(r.Rank))
+		if spec.Reinsert {
+			if _, _, err := p.Insert(); err != nil {
+				return nil, err
+			}
+		}
+		if step%spec.SampleEvery == 0 {
+			out.T = append(out.T, float64(step))
+			out.WindowAvgRank = append(out.WindowAvgRank, window.Mean())
+			out.MaxTopRank = append(out.MaxTopRank, float64(p.MaxTopRank()))
+			if spec.Alpha > 0 {
+				w, okm := p.TopWeights()
+				out.Gamma = append(out.Gamma, Potential(w, okm, spec.Alpha).Gamma)
+			}
+			window = stats.Welford{}
+		}
+	}
+	out.EmptyInspections = p.EmptyInspections()
+	return out, nil
+}
+
+// DivergenceFit runs the single-choice steady-state process of Theorem 6 and
+// fits the window-average rank as c·t^p, returning the exponent p and the
+// series. Theorem 6 predicts p ≈ 1/2 (growth Ω(sqrt(t·n·log n))); the
+// two-choice process instead yields p ≈ 0 (rank independent of t).
+func DivergenceFit(n int, beta float64, steps int, seed uint64) (exponent float64, series *RankSeries, err error) {
+	// The prefill buffer must dominate the ranks the divergence reaches
+	// (Θ(sqrt(t·n·log n))), or ranks saturate at the system size and the
+	// growth cannot be observed.
+	buffer := 8*n + int(4*math.Sqrt(float64(steps)*float64(n)*math.Log(float64(n)+1)))
+	spec := RunSpec{
+		Cfg:         Config{N: n, Beta: beta, Insert: InsertUniform, Seed: seed},
+		Prefill:     buffer,
+		Steps:       steps,
+		SampleEvery: steps / 32,
+		Reinsert:    true,
+	}
+	series, err = Run(spec)
+	if err != nil {
+		return 0, nil, err
+	}
+	// Skip the initial transient (first quarter of samples).
+	skip := len(series.T) / 4
+	_, p, _, err := stats.PowerFit(series.T[skip:], series.WindowAvgRank[skip:])
+	if err != nil {
+		return 0, nil, err
+	}
+	return p, series, nil
+}
+
+// BinOfRankCounts runs `trials` independent instances of the original and
+// exponential insertion processes with m labels over n bins (bias γ) and
+// counts, for each process and each requested rank r, which bin holds the
+// rank-r element. Theorem 2 says both count matrices estimate the same
+// distribution π.
+//
+// The returned matrices are indexed [rankIdx][bin]; pis is the exact π.
+func BinOfRankCounts(n, m, trials int, gamma float64, ranksToCheck []int, seed uint64) (orig, expp [][]float64, pis []float64, err error) {
+	if n < 1 || m < 1 || trials < 1 {
+		return nil, nil, nil, fmt.Errorf("seqproc: bad BinOfRankCounts args n=%d m=%d trials=%d", n, m, trials)
+	}
+	for _, r := range ranksToCheck {
+		if r < 1 || r > m {
+			return nil, nil, nil, fmt.Errorf("seqproc: rank %d outside [1,%d]", r, m)
+		}
+	}
+	weights, err := xrand.BiasedWeights(n, gamma)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	alias, err := xrand.NewAlias(weights)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var sum float64
+	for _, w := range weights {
+		sum += w
+	}
+	pis = make([]float64, n)
+	for i, w := range weights {
+		pis[i] = w / sum
+	}
+	orig = make([][]float64, len(ranksToCheck))
+	expp = make([][]float64, len(ranksToCheck))
+	for i := range orig {
+		orig[i] = make([]float64, n)
+		expp[i] = make([]float64, n)
+	}
+	rng := xrand.NewSource(seed)
+	for trial := 0; trial < trials; trial++ {
+		// Original process: the element of rank r is simply the r-th
+		// inserted label; its bin is the r-th insertion choice.
+		binOf := make([]int, m)
+		for i := 0; i < m; i++ {
+			binOf[i] = alias.Sample(rng)
+		}
+		for idx, r := range ranksToCheck {
+			orig[idx][binOf[r-1]]++
+		}
+		// Exponential process: generate and read off the rank assignment.
+		e, err := NewExp(m, 1, weights, rng.Uint64())
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		binRanks := e.BinRanks()
+		binOfRank := make([]int, m)
+		for b, rs := range binRanks {
+			for _, r := range rs {
+				binOfRank[r] = b
+			}
+		}
+		for idx, r := range ranksToCheck {
+			expp[idx][binOfRank[r-1]]++
+		}
+	}
+	return orig, expp, pis, nil
+}
+
+// CoupledCosts realises the §4 coupling: it generates one exponential
+// process, loads an original-style process with the identical per-bin rank
+// sequences, then drives both with the same removal-choice stream. It
+// returns the two per-step cost sequences, which Theorem 2's coupling
+// argument says must be identical.
+func CoupledCosts(n, m int, beta float64, steps int, seed uint64) (origCosts, expCosts []int64, err error) {
+	weights, err := xrand.BiasedWeights(n, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	e, err := NewExp(m, beta, weights, seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	p, err := NewFromBins(e.BinRanks(), beta, seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	choice := xrand.NewSource(seed ^ 0xabcdef)
+	origCosts = make([]int64, 0, steps)
+	expCosts = make([]int64, 0, steps)
+	for s := 0; s < steps; s++ {
+		i, j := -1, -1
+		if choice.Bernoulli(beta) && n >= 2 {
+			i, j = choice.TwoDistinct(n)
+		} else {
+			i = choice.Intn(n)
+		}
+		ro, ok1 := p.RemoveAt(i, j)
+		re, ok2 := e.RemoveAt(i, j)
+		if !ok1 || !ok2 {
+			break
+		}
+		origCosts = append(origCosts, ro.Rank)
+		expCosts = append(expCosts, re.Rank)
+	}
+	return origCosts, expCosts, nil
+}
+
+// ReductionCoupling realises the Appendix A reduction: a round-robin-filled
+// two-choice process is stepped alongside a two-choice balls-into-bins
+// process over "virtual bins" (one per queue, load = number of removals),
+// with both fed the same queue choices. It returns the number of steps where
+// the queue removed from differs from the virtual bin chosen — zero, per the
+// reduction.
+func ReductionCoupling(n, prefill, steps int, seed uint64) (mismatches int, err error) {
+	cfg := Config{N: n, Beta: 1, Insert: InsertRoundRobin, Seed: seed}
+	p, err := New(cfg, prefill)
+	if err != nil {
+		return 0, err
+	}
+	if err := p.InsertMany(prefill); err != nil {
+		return 0, err
+	}
+	bb, err := ballsbins.New(n, seed)
+	if err != nil {
+		return 0, err
+	}
+	choice := xrand.NewSource(seed ^ 0x5eed)
+	for s := 0; s < steps; s++ {
+		i, j := choice.TwoDistinct(n)
+		r, ok := p.RemoveAt(i, j)
+		if !ok {
+			return 0, fmt.Errorf("seqproc: reduction run drained at step %d", s)
+		}
+		c := bb.StepTwoChoiceAt(i, j, 1)
+		if c != r.Queue {
+			mismatches++
+		}
+	}
+	return mismatches, nil
+}
+
+// PotentialSeries runs the exponential process and samples Γ(t) and the
+// normalised top-weight spread x_max − x_min every sampleEvery removals,
+// removing up to `steps` elements. It validates Theorem 3's claim
+// E[Γ(t)] ≤ C·n for all t (and, via the spread, Lemma 4's consequence).
+func PotentialSeries(n, m int, beta, gamma, alpha float64, steps, sampleEvery int, seed uint64) (ts, gammas, spreads []float64, err error) {
+	weights, err := xrand.BiasedWeights(n, gamma)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	e, err := NewExp(m, beta, weights, seed)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if sampleEvery <= 0 {
+		sampleEvery = 1
+	}
+	for s := 1; s <= steps; s++ {
+		if _, ok := e.Remove(); !ok {
+			break
+		}
+		if s%sampleEvery == 0 {
+			w, okm := e.TopWeights()
+			v := Potential(w, okm, alpha)
+			ts = append(ts, float64(s))
+			gammas = append(gammas, v.Gamma)
+			spreads = append(spreads, v.Spread)
+		}
+	}
+	return ts, gammas, spreads, nil
+}

@@ -1,0 +1,226 @@
+package seqproc
+
+import (
+	"math"
+	"testing"
+)
+
+// TestTheorem1AverageRankLinearInN checks the headline bound: the average
+// removal rank of the two-choice process is O(n), at every time t, and does
+// not grow with t.
+func TestTheorem1AverageRankLinearInN(t *testing.T) {
+	for _, n := range []int{16, 64} {
+		series, err := Run(RunSpec{
+			Cfg:         Config{N: n, Beta: 1, Seed: uint64(100 + n)},
+			Prefill:     n * 64,
+			Steps:       n * 512,
+			SampleEvery: n * 32,
+			Reinsert:    true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mean := series.Overall.Mean()
+		if mean > 4*float64(n) {
+			t.Errorf("n=%d: average rank %v exceeds 4n", n, mean)
+		}
+		// Stationarity: last window comparable to an early window.
+		k := len(series.WindowAvgRank)
+		early := series.WindowAvgRank[k/4]
+		late := series.WindowAvgRank[k-1]
+		if late > 2.5*early+float64(n)/4 {
+			t.Errorf("n=%d: window rank grew from %v to %v — not stationary", n, early, late)
+		}
+	}
+}
+
+// TestTheorem1MaxRankNLogN checks the max-rank bound O(n log n) for β=1.
+func TestTheorem1MaxRankNLogN(t *testing.T) {
+	for _, n := range []int{16, 64} {
+		series, err := Run(RunSpec{
+			Cfg:         Config{N: n, Beta: 1, Seed: uint64(200 + n)},
+			Prefill:     n * 64,
+			Steps:       n * 256,
+			SampleEvery: n * 8,
+			Reinsert:    true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := 6 * float64(n) * math.Log(float64(n))
+		for i, m := range series.MaxTopRank {
+			if m > bound {
+				t.Errorf("n=%d sample %d: max top rank %v exceeds 6·n·ln n = %v", n, i, m, bound)
+			}
+		}
+	}
+}
+
+// TestTheorem1BetaDependence checks that smaller β yields larger (but still
+// t-independent) average ranks, qualitatively matching the O(n/β²) bound.
+func TestTheorem1BetaDependence(t *testing.T) {
+	const n = 32
+	means := map[float64]float64{}
+	for _, beta := range []float64{0.25, 0.5, 1} {
+		series, err := Run(RunSpec{
+			Cfg:         Config{N: n, Beta: beta, Seed: 300},
+			Prefill:     n * 64,
+			Steps:       n * 384,
+			SampleEvery: n * 32,
+			Reinsert:    true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		means[beta] = series.Overall.Mean()
+	}
+	if !(means[1] < means[0.5] && means[0.5] < means[0.25]) {
+		t.Errorf("average ranks not monotone in β: %v", means)
+	}
+}
+
+// TestTheorem1RobustToBias checks the γ-bias robustness claim: with β = 1
+// and γ = 0.25 the average rank stays O(n) and stationary.
+func TestTheorem1RobustToBias(t *testing.T) {
+	const n = 32
+	series, err := Run(RunSpec{
+		Cfg:         Config{N: n, Beta: 1, Gamma: 0.25, Insert: InsertBiased, Seed: 400},
+		Prefill:     n * 64,
+		Steps:       n * 384,
+		SampleEvery: n * 32,
+		Reinsert:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mean := series.Overall.Mean(); mean > 6*float64(n) {
+		t.Errorf("biased average rank %v exceeds 6n", mean)
+	}
+	k := len(series.WindowAvgRank)
+	if series.WindowAvgRank[k-1] > 3*series.WindowAvgRank[k/4]+float64(n)/4 {
+		t.Errorf("biased process not stationary: %v", series.WindowAvgRank)
+	}
+}
+
+// TestTheorem6SingleChoiceDiverges fits the growth exponent of the
+// single-choice process's average rank: Theorem 6 predicts Θ(sqrt t), i.e.
+// exponent ≈ 0.5, whereas two-choice must be flat (≈ 0).
+func TestTheorem6SingleChoiceDiverges(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long statistical test")
+	}
+	const n = 32
+	const steps = 120000
+	expSingle, _, err := DivergenceFit(n, 0, steps, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if expSingle < 0.3 || expSingle > 0.75 {
+		t.Errorf("single-choice growth exponent %v, want ≈ 0.5", expSingle)
+	}
+	expTwo, _, err := DivergenceFit(n, 1, steps, 501)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(expTwo) > 0.15 {
+		t.Errorf("two-choice growth exponent %v, want ≈ 0", expTwo)
+	}
+	if expSingle < expTwo+0.25 {
+		t.Errorf("no separation: single %v vs two %v", expSingle, expTwo)
+	}
+}
+
+// TestAppendixAReductionExact verifies the Appendix A reduction: under
+// round-robin insertion, removal choices coincide exactly with two-choice
+// allocations into virtual bins, step by step.
+func TestAppendixAReductionExact(t *testing.T) {
+	for _, n := range []int{4, 16, 64} {
+		mismatches, err := ReductionCoupling(n, n*200, n*100, uint64(600+n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mismatches != 0 {
+			t.Errorf("n=%d: %d coupling mismatches, want 0", n, mismatches)
+		}
+	}
+}
+
+// TestTheorem3PotentialBounded samples Γ(t) along an exponential-process run
+// and checks it stays below C·n throughout, for uniform and biased inserts.
+func TestTheorem3PotentialBounded(t *testing.T) {
+	const n = 64
+	const m = n * 256
+	for _, gamma := range []float64{0, 0.25} {
+		beta := 1.0
+		alpha := AlphaFor(beta, gamma)
+		ts, gs, spreads, err := PotentialSeries(n, m, beta, gamma, alpha, m/2, n, uint64(700))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ts) == 0 {
+			t.Fatal("no samples")
+		}
+		for i, g := range gs {
+			if g > 40*float64(n) {
+				t.Errorf("γ=%v: Γ(t=%v) = %v exceeds 40n", gamma, ts[i], g)
+			}
+		}
+		// Lemma 4 consequence: the normalised spread stays O(log n / α).
+		bound := 6 * math.Log(float64(n)) / alpha
+		for i, s := range spreads {
+			if s > bound {
+				t.Errorf("γ=%v: spread(t=%v) = %v exceeds %v", gamma, ts[i], s, bound)
+			}
+		}
+	}
+}
+
+// TestPotentialSeparatesPolicies checks the potential argument's
+// discriminative power: the single-choice process's Γ at matched times is
+// larger than the two-choice process's (its top weights spread out).
+func TestPotentialSeparatesPolicies(t *testing.T) {
+	const n = 64
+	const m = n * 256
+	alpha := AlphaFor(1, 0)
+	_, gTwo, _, err := PotentialSeries(n, m, 1, 0, alpha, m/2, m/8, 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, gOne, _, err := PotentialSeries(n, m, 0, 0, alpha, m/2, m/8, 801)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gTwo) == 0 || len(gOne) == 0 {
+		t.Fatal("no samples")
+	}
+	lastTwo, lastOne := gTwo[len(gTwo)-1], gOne[len(gOne)-1]
+	if lastOne <= lastTwo {
+		t.Errorf("single-choice Γ %v not above two-choice Γ %v", lastOne, lastTwo)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(RunSpec{Cfg: Config{N: 0}}); err == nil {
+		t.Error("invalid config accepted")
+	}
+	// Draining more than prefilled without reinsert must error.
+	if _, err := Run(RunSpec{
+		Cfg:     Config{N: 2, Beta: 1},
+		Prefill: 4,
+		Steps:   10,
+	}); err == nil {
+		t.Error("over-draining run accepted")
+	}
+}
+
+func TestBinOfRankCountsValidation(t *testing.T) {
+	if _, _, _, err := BinOfRankCounts(0, 10, 1, 0, []int{1}, 1); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, _, _, err := BinOfRankCounts(4, 10, 1, 0, []int{0}, 1); err == nil {
+		t.Error("rank 0 accepted")
+	}
+	if _, _, _, err := BinOfRankCounts(4, 10, 1, 0, []int{11}, 1); err == nil {
+		t.Error("rank > m accepted")
+	}
+}

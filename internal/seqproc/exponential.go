@@ -1,0 +1,248 @@
+package seqproc
+
+import (
+	"fmt"
+	"math"
+
+	"powerchoice/internal/fenwick"
+	"powerchoice/internal/pqueue"
+	"powerchoice/internal/xrand"
+)
+
+// ExpProcess is the exponential process of §4.1: each bin holds real-valued
+// labels built from cumulative exponential increments with mean 1/π_i, and
+// removals follow the same (1+β) two-choice rule as the original process,
+// comparing top *values*. Theorem 2 shows its rank distribution is identical
+// to the original process's label distribution; this type exists to validate
+// that claim and to drive the potential argument of §4.2.
+type ExpProcess struct {
+	n      int
+	beta   float64
+	values [][]float64 // per-bin ascending real labels
+	ranks  [][]int     // global 0-based rank of each label
+	heads  []int
+	// present tracks which global ranks are still in the system, giving
+	// rank(v) = PrefixSum(globalRank(v)) exactly as in the original process.
+	present *fenwick.Tree
+	size    int
+	rng     *xrand.Source
+
+	removals         int64
+	emptyInspections int64
+}
+
+// ExpRemoval reports one removal step of the exponential process.
+type ExpRemoval struct {
+	// Value is the removed real-valued label.
+	Value float64
+	// GlobalRank is the removed label's rank among all m generated labels
+	// (0-based, fixed at generation time).
+	GlobalRank int
+	// Rank is the cost paid: the rank among labels still present (min 1).
+	Rank int64
+	// Queue is the bin removed from.
+	Queue int
+}
+
+// NewExp generates an exponential process holding the m globally smallest
+// labels over len(weights) bins. Each bin independently produces a stream of
+// cumulative Exp(mean 1/π_i) increments (§4.1); the system consists of the
+// first m arrivals of the superposition of these streams. This is the
+// construction under which Theorem 2 is exact: by memorylessness, each
+// successive rank lands in bin j with probability π_j, independently.
+//
+// The removal RNG is seeded with exactly `seed`, so an ExpProcess and a
+// Process (or NewFromBins) built with the same seed draw identical removal
+// choices; label generation uses a derived, separate stream.
+func NewExp(m int, beta float64, weights []float64, seed uint64) (*ExpProcess, error) {
+	n := len(weights)
+	if n < 1 {
+		return nil, fmt.Errorf("seqproc: NewExp needs at least one bin")
+	}
+	if m < 1 {
+		return nil, fmt.Errorf("seqproc: NewExp needs m >= 1, got %d", m)
+	}
+	if beta < 0 || beta > 1 {
+		return nil, fmt.Errorf("seqproc: beta %v outside [0,1]", beta)
+	}
+	var sum float64
+	for _, w := range weights {
+		if w < 0 {
+			return nil, fmt.Errorf("seqproc: negative weight")
+		}
+		sum += w
+	}
+	if sum <= 0 {
+		return nil, fmt.Errorf("seqproc: weights sum to zero")
+	}
+	e := &ExpProcess{
+		n:       n,
+		beta:    beta,
+		values:  make([][]float64, n),
+		ranks:   make([][]int, n),
+		heads:   make([]int, n),
+		present: fenwick.New(m),
+		size:    m,
+		rng:     xrand.NewSource(seed),
+	}
+	genRng := xrand.NewSource(seed ^ 0x9e3779b97f4a7c15)
+	means := make([]float64, n)
+	for i, w := range weights {
+		pi := w / sum
+		if pi > 0 {
+			means[i] = 1 / pi
+		} else {
+			means[i] = math.Inf(1)
+		}
+	}
+	// Superpose the n streams with a min-heap of next arrivals. Positive
+	// IEEE floats order identically to their bit patterns, so Float64bits
+	// serves as the heap key.
+	arrivals := pqueue.NewDAryHeap[int]()
+	for i := 0; i < n; i++ {
+		if !math.IsInf(means[i], 1) {
+			arrivals.Push(math.Float64bits(means[i]*genRng.ExpFloat64()), i)
+		}
+	}
+	for r := 0; r < m; r++ {
+		it, ok := arrivals.PopMin()
+		if !ok {
+			return nil, fmt.Errorf("seqproc: generation ran dry (all weights zero?)")
+		}
+		bin := it.Value
+		v := math.Float64frombits(it.Key)
+		e.values[bin] = append(e.values[bin], v)
+		e.ranks[bin] = append(e.ranks[bin], r)
+		e.present.Add(r, 1)
+		arrivals.Push(math.Float64bits(v+means[bin]*genRng.ExpFloat64()), bin)
+	}
+	return e, nil
+}
+
+// N returns the number of bins.
+func (e *ExpProcess) N() int { return e.n }
+
+// Size returns the number of labels still present.
+func (e *ExpProcess) Size() int { return e.size }
+
+// Removals returns the number of completed removals.
+func (e *ExpProcess) Removals() int64 { return e.removals }
+
+// BinRanks returns, for each bin, the ascending sequence of global 0-based
+// ranks it was assigned at generation time. This is the rank sequence the
+// Theorem 2 coupling feeds into NewFromBins.
+func (e *ExpProcess) BinRanks() [][]int {
+	out := make([][]int, e.n)
+	for i := range e.ranks {
+		out[i] = append([]int(nil), e.ranks[i]...)
+	}
+	return out
+}
+
+// Top returns the minimum value of bin i, or ok=false when empty.
+func (e *ExpProcess) Top(i int) (float64, bool) {
+	if e.heads[i] >= len(e.values[i]) {
+		return 0, false
+	}
+	return e.values[i][e.heads[i]], true
+}
+
+// Remove performs one (1+β) removal step comparing top values. The internal
+// random draws occur in the same order as Process.Remove, so an ExpProcess
+// and a Process created with the same seed make identical queue choices.
+func (e *ExpProcess) Remove() (ExpRemoval, bool) {
+	if e.size == 0 {
+		return ExpRemoval{}, false
+	}
+	twoChoice := e.rng.Bernoulli(e.beta) && e.n >= 2
+	var q int
+	if twoChoice {
+		i, j := e.rng.TwoDistinct(e.n)
+		q = e.betterOf(i, j)
+	} else {
+		q = e.rng.Intn(e.n)
+		if _, ok := e.Top(q); !ok {
+			e.emptyInspections++
+			q = e.firstNonEmptyFrom(q)
+		}
+	}
+	if q < 0 {
+		return ExpRemoval{}, false
+	}
+	return e.removeFrom(q), true
+}
+
+// RemoveAt mirrors Process.RemoveAt for externally supplied choices.
+func (e *ExpProcess) RemoveAt(i, j int) (ExpRemoval, bool) {
+	if e.size == 0 {
+		return ExpRemoval{}, false
+	}
+	q := i
+	if j >= 0 {
+		q = e.betterOf(i, j)
+	} else if _, ok := e.Top(q); !ok {
+		e.emptyInspections++
+		q = e.firstNonEmptyFrom(q)
+	}
+	if q < 0 {
+		return ExpRemoval{}, false
+	}
+	return e.removeFrom(q), true
+}
+
+func (e *ExpProcess) betterOf(i, j int) int {
+	ti, iok := e.Top(i)
+	tj, jok := e.Top(j)
+	switch {
+	case iok && jok:
+		if ti <= tj {
+			return i
+		}
+		return j
+	case iok:
+		e.emptyInspections++
+		return i
+	case jok:
+		e.emptyInspections++
+		return j
+	default:
+		e.emptyInspections += 2
+		return e.firstNonEmptyFrom(i)
+	}
+}
+
+func (e *ExpProcess) firstNonEmptyFrom(start int) int {
+	for k := 0; k < e.n; k++ {
+		q := (start + k) % e.n
+		if e.heads[q] < len(e.values[q]) {
+			return q
+		}
+	}
+	return -1
+}
+
+func (e *ExpProcess) removeFrom(q int) ExpRemoval {
+	h := e.heads[q]
+	v := e.values[q][h]
+	gr := e.ranks[q][h]
+	rank := e.present.PrefixSum(gr)
+	e.present.Add(gr, -1)
+	e.heads[q]++
+	e.size--
+	e.removals++
+	return ExpRemoval{Value: v, GlobalRank: gr, Rank: rank, Queue: q}
+}
+
+// TopWeights returns the top value of every bin with an occupancy mask, the
+// w_i(t) of §4.2.
+func (e *ExpProcess) TopWeights() ([]float64, []bool) {
+	w := make([]float64, e.n)
+	ok := make([]bool, e.n)
+	for i := 0; i < e.n; i++ {
+		if v, good := e.Top(i); good {
+			w[i] = v
+			ok[i] = true
+		}
+	}
+	return w, ok
+}

@@ -1,0 +1,288 @@
+package seqproc
+
+import (
+	"sort"
+	"testing"
+
+	"powerchoice/internal/stats"
+	"powerchoice/internal/xrand"
+)
+
+func uniformWeights(n int) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1
+	}
+	return w
+}
+
+func TestNewExpValidates(t *testing.T) {
+	if _, err := NewExp(10, 1, nil, 1); err == nil {
+		t.Error("no bins accepted")
+	}
+	if _, err := NewExp(0, 1, uniformWeights(4), 1); err == nil {
+		t.Error("m=0 accepted")
+	}
+	if _, err := NewExp(10, -0.5, uniformWeights(4), 1); err == nil {
+		t.Error("negative beta accepted")
+	}
+	if _, err := NewExp(10, 2, uniformWeights(4), 1); err == nil {
+		t.Error("beta>1 accepted")
+	}
+}
+
+func TestExpLabelsAscendPerBin(t *testing.T) {
+	e, err := NewExp(500, 1, uniformWeights(8), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b, vals := range e.values {
+		for i := 1; i < len(vals); i++ {
+			if vals[i] <= vals[i-1] {
+				t.Fatalf("bin %d: labels not strictly ascending at %d", b, i)
+			}
+		}
+	}
+}
+
+func TestExpRanksArePermutation(t *testing.T) {
+	const m = 300
+	e, err := NewExp(m, 1, uniformWeights(4), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make([]bool, m)
+	total := 0
+	for _, rs := range e.BinRanks() {
+		for _, r := range rs {
+			if r < 0 || r >= m || seen[r] {
+				t.Fatalf("invalid or duplicate rank %d", r)
+			}
+			seen[r] = true
+			total++
+		}
+	}
+	if total != m {
+		t.Fatalf("rank count %d, want %d", total, m)
+	}
+}
+
+func TestExpRanksOrderMatchesValues(t *testing.T) {
+	// The global rank ordering must agree with the value ordering.
+	const m = 200
+	e, err := NewExp(m, 1, uniformWeights(4), 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type pair struct {
+		v float64
+		r int
+	}
+	var all []pair
+	for b := range e.values {
+		for i := range e.values[b] {
+			all = append(all, pair{e.values[b][i], e.ranks[b][i]})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].v < all[j].v })
+	for i, p := range all {
+		if p.r != i {
+			t.Fatalf("value #%d has rank %d", i, p.r)
+		}
+	}
+}
+
+func TestExpBinRanksAscending(t *testing.T) {
+	// Within a bin, values ascend, so ranks must too: these are the valid
+	// inputs for NewFromBins in the coupling.
+	e, err := NewExp(400, 1, uniformWeights(8), 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b, rs := range e.BinRanks() {
+		for i := 1; i < len(rs); i++ {
+			if rs[i] <= rs[i-1] {
+				t.Fatalf("bin %d ranks not ascending", b)
+			}
+		}
+	}
+}
+
+func TestExpDrain(t *testing.T) {
+	const m = 256
+	e, err := NewExp(m, 0.5, uniformWeights(8), 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < m; i++ {
+		r, ok := e.Remove()
+		if !ok {
+			t.Fatalf("drained at %d", i)
+		}
+		if r.Rank < 1 || r.Rank > int64(m-i) {
+			t.Fatalf("step %d: rank %d out of bounds", i, r.Rank)
+		}
+	}
+	if _, ok := e.Remove(); ok {
+		t.Fatal("removal from empty exp process succeeded")
+	}
+	if e.Size() != 0 || e.Removals() != m {
+		t.Fatalf("Size=%d Removals=%d", e.Size(), e.Removals())
+	}
+}
+
+func TestExpRemovesQueueMin(t *testing.T) {
+	const m = 300
+	e, err := NewExp(m, 1, uniformWeights(4), 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < m/2; i++ {
+		tops := map[int]float64{}
+		for q := 0; q < e.N(); q++ {
+			if v, ok := e.Top(q); ok {
+				tops[q] = v
+			}
+		}
+		r, ok := e.Remove()
+		if !ok {
+			break
+		}
+		if want, okTop := tops[r.Queue]; !okTop || want != r.Value {
+			t.Fatalf("step %d: removed %v from bin %d whose top was %v", i, r.Value, r.Queue, want)
+		}
+	}
+}
+
+// TestTheorem2CouplingCostsIdentical is the mechanised core of the §4
+// coupling: the original process loaded with the exponential process's rank
+// sequences pays exactly the same cost at every step when fed the same
+// removal choices.
+func TestTheorem2CouplingCostsIdentical(t *testing.T) {
+	for _, beta := range []float64{0.25, 0.5, 1} {
+		orig, expc, err := CoupledCosts(8, 800, beta, 400, 29)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(orig) != 400 || len(expc) != 400 {
+			t.Fatalf("β=%v: short run %d/%d", beta, len(orig), len(expc))
+		}
+		for i := range orig {
+			if orig[i] != expc[i] {
+				t.Fatalf("β=%v: costs diverge at step %d: %d vs %d", beta, i, orig[i], expc[i])
+			}
+		}
+	}
+}
+
+// TestTheorem2RankDistributionEquivalence validates Pr_e[I_{j←i}] =
+// Pr_o[I_{j←i}] = π_j by chi-square on the bin holding ranks 1, m/2 and m,
+// in both the uniform and the γ-biased setting.
+func TestTheorem2RankDistributionEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test")
+	}
+	const n, m, trials = 4, 64, 4000
+	for _, gamma := range []float64{0, 0.4} {
+		orig, expp, pis, err := BinOfRankCounts(n, m, trials, gamma, []int{1, m / 2, m}, 31)
+		if err != nil {
+			t.Fatal(err)
+		}
+		expected := make([]float64, n)
+		for i, pi := range pis {
+			expected[i] = pi * trials
+		}
+		for idx, rank := range []int{1, m / 2, m} {
+			for name, counts := range map[string][]float64{"orig": orig[idx], "exp": expp[idx]} {
+				_, p, err := statsChi(counts, expected)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if p < 1e-4 {
+					t.Errorf("γ=%v rank=%d %s process: p=%v — bin-of-rank distribution differs from π",
+						gamma, rank, name, p)
+				}
+			}
+		}
+	}
+}
+
+// TestExpProcessChoiceStreamMatchesOriginal verifies the draw-order contract:
+// a Process and an ExpProcess with equal seeds and sizes choose the same
+// queues step by step (needed for the implicit coupling in Remove).
+func TestExpProcessChoiceStreamMatchesOriginal(t *testing.T) {
+	const n, m = 8, 512
+	const beta = 0.5
+	const seed = 37
+	e, err := NewExp(m, beta, uniformWeights(n), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewFromBins(e.BinRanks(), beta, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < m/2; i++ {
+		ro, ok1 := p.Remove()
+		re, ok2 := e.Remove()
+		if !ok1 || !ok2 {
+			t.Fatalf("drained at %d", i)
+		}
+		if ro.Queue != re.Queue {
+			t.Fatalf("step %d: queues diverged %d vs %d", i, ro.Queue, re.Queue)
+		}
+		if ro.Rank != re.Rank {
+			t.Fatalf("step %d: ranks diverged %d vs %d", i, ro.Rank, re.Rank)
+		}
+	}
+}
+
+// statsChi adapts stats.ChiSquare for the equivalence test.
+func statsChi(obs, exp []float64) (float64, float64, error) {
+	return stats.ChiSquare(obs, exp)
+}
+
+func TestExpProcessDeterminism(t *testing.T) {
+	run := func() []float64 {
+		e, err := NewExp(200, 0.8, uniformWeights(4), 43)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []float64
+		for i := 0; i < 100; i++ {
+			r, _ := e.Remove()
+			out = append(out, r.Value)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("replay diverged at %d", i)
+		}
+	}
+}
+
+func TestExpBiasedCountsFollowPi(t *testing.T) {
+	// With a biased π, bins receive counts proportional to π.
+	const m = 60000
+	w, err := xrand.BiasedWeights(8, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewExp(m, 1, w, 47)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, x := range w {
+		sum += x
+	}
+	for i, vals := range e.values {
+		want := w[i] / sum * m
+		got := float64(len(vals))
+		if got < want*0.9-20 || got > want*1.1+20 {
+			t.Errorf("bin %d count %v, want ≈%v", i, got, want)
+		}
+	}
+}

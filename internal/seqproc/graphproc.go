@@ -1,0 +1,159 @@
+package seqproc
+
+import (
+	"fmt"
+
+	"powerchoice/internal/xrand"
+)
+
+// GraphTopology is a connected undirected (multi)graph over queue indices,
+// the arena of the §6 "processes on graphs" extension: a removal samples a
+// random edge and takes the better of its two endpoints. The complete graph
+// recovers the paper's two-choice process; poorly expanding graphs (cycles)
+// weaken the power of choice, expanders nearly match the complete graph.
+type GraphTopology struct {
+	n     int
+	edges [][2]int
+}
+
+// N returns the number of vertices (queues).
+func (t *GraphTopology) N() int { return t.n }
+
+// NumEdges returns the number of edges.
+func (t *GraphTopology) NumEdges() int { return len(t.edges) }
+
+// CompleteTopology returns K_n.
+func CompleteTopology(n int) (*GraphTopology, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("seqproc: complete topology needs n >= 2")
+	}
+	t := &GraphTopology{n: n}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			t.edges = append(t.edges, [2]int{i, j})
+		}
+	}
+	return t, nil
+}
+
+// CycleTopology returns the n-cycle, the canonical poorly-expanding graph.
+func CycleTopology(n int) (*GraphTopology, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("seqproc: cycle topology needs n >= 3")
+	}
+	t := &GraphTopology{n: n}
+	for i := 0; i < n; i++ {
+		t.edges = append(t.edges, [2]int{i, (i + 1) % n})
+	}
+	return t, nil
+}
+
+// RegularTopology returns a connected d-regular multigraph built as the
+// union of d/2 uniformly random Hamiltonian cycles (d must be even, ≥ 2).
+// Unions of random cycles are standard expander constructions, so for
+// d ≥ 4 this yields good expansion with certainty of connectivity.
+func RegularTopology(n, d int, seed uint64) (*GraphTopology, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("seqproc: regular topology needs n >= 3")
+	}
+	if d < 2 || d%2 != 0 {
+		return nil, fmt.Errorf("seqproc: regular topology needs even degree >= 2, got %d", d)
+	}
+	rng := xrand.NewSource(seed)
+	t := &GraphTopology{n: n}
+	for c := 0; c < d/2; c++ {
+		perm := rng.Perm(n)
+		for i := 0; i < n; i++ {
+			t.edges = append(t.edges, [2]int{perm[i], perm[(i+1)%n]})
+		}
+	}
+	return t, nil
+}
+
+// GraphProcess is the sequential labelled process driven by a topology:
+// insertions are uniform over vertices; with probability β a removal picks
+// a uniformly random edge and removes the smaller top label among its two
+// endpoint queues, otherwise it removes from one uniformly random vertex.
+type GraphProcess struct {
+	p    *Process
+	topo *GraphTopology
+	beta float64
+	rng  *xrand.Source
+}
+
+// NewGraphProcess builds a graph process over the topology with the given
+// removal β and label capacity.
+func NewGraphProcess(topo *GraphTopology, beta float64, capacity int, seed uint64) (*GraphProcess, error) {
+	if topo == nil || topo.n < 2 {
+		return nil, fmt.Errorf("seqproc: nil or trivial topology")
+	}
+	if beta < 0 || beta > 1 {
+		return nil, fmt.Errorf("seqproc: beta %v outside [0,1]", beta)
+	}
+	p, err := New(Config{N: topo.n, Beta: 1, Insert: InsertUniform, Seed: seed}, capacity)
+	if err != nil {
+		return nil, err
+	}
+	return &GraphProcess{
+		p:    p,
+		topo: topo,
+		beta: beta,
+		rng:  xrand.NewSource(seed ^ 0xeddecade),
+	}, nil
+}
+
+// Insert inserts the next label at a uniformly random vertex.
+func (g *GraphProcess) Insert() (int, int, error) { return g.p.Insert() }
+
+// InsertMany performs k insertions.
+func (g *GraphProcess) InsertMany(k int) error { return g.p.InsertMany(k) }
+
+// Size returns the number of labels present.
+func (g *GraphProcess) Size() int { return g.p.Size() }
+
+// MaxTopRank exposes the underlying process's max top rank.
+func (g *GraphProcess) MaxTopRank() int64 { return g.p.MaxTopRank() }
+
+// Remove performs one removal step along a random edge (or a single random
+// vertex with probability 1-β).
+func (g *GraphProcess) Remove() (Removal, bool) {
+	if g.p.Size() == 0 {
+		return Removal{}, false
+	}
+	if g.rng.Bernoulli(g.beta) {
+		e := g.topo.edges[g.rng.Intn(len(g.topo.edges))]
+		return g.p.RemoveAt(e[0], e[1])
+	}
+	return g.p.RemoveAt(g.rng.Intn(g.topo.n), -1)
+}
+
+// GraphRankSummary runs a prefilled steady-state graph process and returns
+// the mean removal rank and the maximum sampled top rank — the quantities
+// the §6 extension conjectures depend on the graph's expansion.
+func GraphRankSummary(topo *GraphTopology, beta float64, prefillPerVertex, steps int, seed uint64) (meanRank float64, maxTopRank int64, err error) {
+	prefill := prefillPerVertex * topo.n
+	g, err := NewGraphProcess(topo, beta, prefill+steps, seed)
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := g.InsertMany(prefill); err != nil {
+		return 0, 0, err
+	}
+	var sum float64
+	for s := 0; s < steps; s++ {
+		r, ok := g.Remove()
+		if !ok {
+			return 0, 0, fmt.Errorf("seqproc: graph process drained at step %d", s)
+		}
+		sum += float64(r.Rank)
+		if _, _, err := g.Insert(); err != nil {
+			return 0, 0, err
+		}
+		if s%(steps/8+1) == 0 {
+			if m := g.MaxTopRank(); m > maxTopRank {
+				maxTopRank = m
+			}
+		}
+	}
+	return sum / float64(steps), maxTopRank, nil
+}

@@ -1,0 +1,205 @@
+package seqproc
+
+import "testing"
+
+func TestTopologyConstructors(t *testing.T) {
+	k, err := CompleteTopology(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.N() != 5 || k.NumEdges() != 10 {
+		t.Errorf("K5: %d vertices %d edges", k.N(), k.NumEdges())
+	}
+	c, err := CycleTopology(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.N() != 7 || c.NumEdges() != 7 {
+		t.Errorf("C7: %d vertices %d edges", c.N(), c.NumEdges())
+	}
+	r, err := RegularTopology(9, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumEdges() != 18 { // two Hamiltonian cycles of 9 edges
+		t.Errorf("4-regular on 9: %d edges", r.NumEdges())
+	}
+	// Degree check: every vertex appears in exactly d edges.
+	deg := make([]int, 9)
+	for _, e := range r.edges {
+		deg[e[0]]++
+		deg[e[1]]++
+	}
+	for v, d := range deg {
+		if d != 4 {
+			t.Errorf("vertex %d degree %d, want 4", v, d)
+		}
+	}
+}
+
+func TestTopologyValidation(t *testing.T) {
+	if _, err := CompleteTopology(1); err == nil {
+		t.Error("K1 accepted")
+	}
+	if _, err := CycleTopology(2); err == nil {
+		t.Error("C2 accepted")
+	}
+	if _, err := RegularTopology(5, 3, 1); err == nil {
+		t.Error("odd degree accepted")
+	}
+	if _, err := RegularTopology(2, 2, 1); err == nil {
+		t.Error("n=2 accepted")
+	}
+	if _, err := NewGraphProcess(nil, 1, 10, 1); err == nil {
+		t.Error("nil topology accepted")
+	}
+	k, _ := CompleteTopology(4)
+	if _, err := NewGraphProcess(k, 1.5, 10, 1); err == nil {
+		t.Error("beta > 1 accepted")
+	}
+}
+
+func TestGraphProcessDrainConsistency(t *testing.T) {
+	k, err := CompleteTopology(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGraphProcess(k, 1, 600, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.InsertMany(600); err != nil {
+		t.Fatal(err)
+	}
+	seen := make([]bool, 600)
+	for i := 0; i < 600; i++ {
+		r, ok := g.Remove()
+		if !ok {
+			t.Fatalf("drained at %d", i)
+		}
+		if r.Rank < 1 {
+			t.Fatalf("rank %d < 1", r.Rank)
+		}
+		if seen[r.Label] {
+			t.Fatalf("label %d removed twice", r.Label)
+		}
+		seen[r.Label] = true
+	}
+	if _, ok := g.Remove(); ok {
+		t.Fatal("removal from empty graph process succeeded")
+	}
+}
+
+// TestGraphCompleteMatchesTwoChoice: on K_n a random edge is exactly a
+// uniform pair of distinct queues, so the graph process must match the
+// standard two-choice process statistically.
+func TestGraphCompleteMatchesTwoChoice(t *testing.T) {
+	const n = 16
+	k, err := CompleteTopology(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphMean, _, err := GraphRankSummary(k, 1, 64, n*256, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	series, err := Run(RunSpec{
+		Cfg:         Config{N: n, Beta: 1, Seed: 6},
+		Prefill:     64 * n,
+		Steps:       n * 256,
+		SampleEvery: n * 64,
+		Reinsert:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	procMean := series.Overall.Mean()
+	if graphMean > 2*procMean+2 || procMean > 2*graphMean+2 {
+		t.Errorf("complete-graph mean %v vs two-choice mean %v — should agree", graphMean, procMean)
+	}
+}
+
+// TestGraphExpansionOrdering: the cycle (poor expansion) pays higher rank
+// cost than the 4-regular expander, which is close to the complete graph —
+// the §6 conjecture, qualitatively.
+func TestGraphExpansionOrdering(t *testing.T) {
+	const n = 32
+	means := map[string]float64{}
+	for name, build := range map[string]func() (*GraphTopology, error){
+		"cycle":    func() (*GraphTopology, error) { return CycleTopology(n) },
+		"regular4": func() (*GraphTopology, error) { return RegularTopology(n, 4, 7) },
+		"complete": func() (*GraphTopology, error) { return CompleteTopology(n) },
+	} {
+		topo, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		mean, _, err := GraphRankSummary(topo, 1, 64, n*384, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		means[name] = mean
+	}
+	if means["cycle"] <= means["complete"] {
+		t.Errorf("cycle mean %v not above complete mean %v", means["cycle"], means["complete"])
+	}
+	if means["regular4"] >= means["cycle"] {
+		t.Errorf("expander mean %v not below cycle mean %v", means["regular4"], means["cycle"])
+	}
+}
+
+func TestKarpZhangValidation(t *testing.T) {
+	if _, _, err := KarpZhangRun(1, 8, 100, 0, 1); err == nil {
+		t.Error("n=1 accepted")
+	}
+	if _, _, err := KarpZhangRun(4, 8, 100, -1, 1); err == nil {
+		t.Error("negative stall accepted")
+	}
+}
+
+// TestKarpZhangVersusChoice: even the synchronous Karp–Zhang strategy has
+// no rebalancing feedback — removals are balanced but insertion randomness
+// random-walks the queue contents, so its mean rank sits far above the
+// two-choice process at the same parameters. This is the §1/§2 point: the
+// power of choice, not synchrony alone, is what pins ranks at O(n).
+func TestKarpZhangVersusChoice(t *testing.T) {
+	const n = 16
+	kzMean, _, err := KarpZhangRun(n, 64, n*512, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	series, err := Run(RunSpec{
+		Cfg:         Config{N: n, Beta: 1, Seed: 3},
+		Prefill:     64 * n,
+		Steps:       n * 512,
+		SampleEvery: n * 128,
+		Reinsert:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	twoChoiceMean := series.Overall.Mean()
+	if kzMean < 2*twoChoiceMean {
+		t.Errorf("Karp–Zhang mean %v unexpectedly close to two-choice mean %v", kzMean, twoChoiceMean)
+	}
+}
+
+// TestKarpZhangDelaysDegrade: §2's observation — a stalled processor makes
+// the rank cost grow with the stall length.
+func TestKarpZhangDelaysDegrade(t *testing.T) {
+	const n = 16
+	base, _, err := KarpZhangRun(n, 64, n*512, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stalled, maxStalled, err := KarpZhangRun(n, 64, n*512, 300, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stalled < 1.5*base {
+		t.Errorf("stall did not degrade rank: base %v, stalled %v", base, stalled)
+	}
+	if maxStalled < int64(300/n) {
+		t.Errorf("max rank %d did not reflect the stall", maxStalled)
+	}
+}

@@ -1,0 +1,67 @@
+package seqproc
+
+import "fmt"
+
+// KarpZhangRun simulates the Karp–Zhang PRAM strategy (§2): processor i
+// owns queue i, insertions go to uniformly random queues, and processors
+// take removal turns round-robin, each removing from its own queue only.
+//
+// Two observations fall out of this simulation. First, even under perfect
+// synchrony the strategy has no rebalancing feedback: removals are balanced
+// by the round-robin, but insertion randomness random-walks the per-queue
+// contents, so ranks drift well above the two-choice process at equal
+// parameters. Second — §2's point that "processor delays can cause the
+// rank difference to become unbounded" — the stall parameters inject
+// asynchrony: processor 0 skips stallRounds of its turns starting at one
+// third of the run, its queue freezing while the others advance, and the
+// rank cost grows with the stall length. The two-choice MultiQueue is
+// immune to both effects because no processor is tied to a queue.
+func KarpZhangRun(n, prefillPerQueue, steps, stallRounds int, seed uint64) (meanRank float64, maxRank int64, err error) {
+	if n < 2 {
+		return 0, 0, fmt.Errorf("seqproc: Karp–Zhang needs n >= 2")
+	}
+	if stallRounds < 0 {
+		return 0, 0, fmt.Errorf("seqproc: negative stall %d", stallRounds)
+	}
+	prefill := prefillPerQueue * n
+	p, err := New(Config{N: n, Beta: 0, Insert: InsertUniform, Seed: seed}, prefill+steps)
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := p.InsertMany(prefill); err != nil {
+		return 0, 0, err
+	}
+	stallStart := steps / 3
+	stallLeft := 0
+	proc := 0
+	var sum float64
+	completed := 0
+	for s := 0; s < steps; s++ {
+		if s == stallStart {
+			stallLeft = stallRounds
+		}
+		// Round-robin turn; processor 0 skips its turn while stalled (the
+		// insertion stream continues, as other processors keep producing).
+		if proc == 0 && stallLeft > 0 {
+			stallLeft--
+		} else {
+			r, ok := p.RemoveAt(proc, -1)
+			if !ok {
+				return 0, 0, fmt.Errorf("seqproc: Karp–Zhang drained at step %d", s)
+			}
+			sum += float64(r.Rank)
+			completed++
+			if r.Rank > maxRank {
+				maxRank = r.Rank
+			}
+			if _, _, err := p.Insert(); err != nil {
+				return 0, 0, err
+			}
+		}
+		proc = (proc + 1) % n
+	}
+	if completed == 0 {
+		return 0, 0, fmt.Errorf("seqproc: no removals completed")
+	}
+	return sum / float64(completed), maxRank, nil
+}

@@ -1,0 +1,75 @@
+package seqproc
+
+import "math"
+
+// PotentialValue carries the three potential functions of §4.2 evaluated at
+// one instant: Φ(t) = Σ exp(α·y_i), Ψ(t) = Σ exp(-α·y_i), Γ = Φ + Ψ, where
+// y_i = w_i(t)/n − µ(t) and µ(t) is the mean of the normalised top weights.
+type PotentialValue struct {
+	Phi   float64
+	Psi   float64
+	Gamma float64
+	// Mu is the mean normalised top weight µ(t).
+	Mu float64
+	// Spread is x_max − x_min in normalised units, the quantity Lemma 4
+	// bounds by (2/α)·log Γ.
+	Spread float64
+}
+
+// Potential evaluates the §4.2 potentials for the given top weights. Only
+// bins with ok[i] (non-empty) participate; prefixed executions keep all bins
+// occupied, so in the analysed regime every bin counts. alpha is the paper's
+// α parameter (0 < α < 1, α = Θ(β)).
+func Potential(tops []float64, ok []bool, alpha float64) PotentialValue {
+	n := len(tops)
+	live := 0
+	var sum float64
+	for i := 0; i < n; i++ {
+		if ok == nil || ok[i] {
+			sum += tops[i] / float64(n)
+			live++
+		}
+	}
+	if live == 0 {
+		return PotentialValue{}
+	}
+	mu := sum / float64(live)
+	var phi, psi float64
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	for i := 0; i < n; i++ {
+		if ok != nil && !ok[i] {
+			continue
+		}
+		x := tops[i] / float64(n)
+		y := x - mu
+		phi += math.Exp(alpha * y)
+		psi += math.Exp(-alpha * y)
+		if x < xmin {
+			xmin = x
+		}
+		if x > xmax {
+			xmax = x
+		}
+	}
+	return PotentialValue{
+		Phi:    phi,
+		Psi:    psi,
+		Gamma:  phi + psi,
+		Mu:     mu,
+		Spread: xmax - xmin,
+	}
+}
+
+// AlphaFor returns an α satisfying the parameter constraints (1)–(2) of
+// §4.2 for the given β and γ: with c = 2 and ε = β/16, δ(α) ≤ ε requires α
+// small relative to β; α = β/64 · (1-γ) is comfortably inside the feasible
+// region for every γ ≤ 1/2 and is what the experiments use.
+func AlphaFor(beta, gamma float64) float64 {
+	a := beta / 64 * (1 - gamma)
+	if a <= 0 {
+		// Degenerate β: fall back to a tiny positive α so potentials stay
+		// finite and comparable.
+		a = 1.0 / 1024
+	}
+	return a
+}

@@ -1,0 +1,405 @@
+package seqproc
+
+import (
+	"math"
+	"testing"
+)
+
+func TestConfigValidation(t *testing.T) {
+	cases := []Config{
+		{N: 0, Beta: 0.5},
+		{N: 4, Beta: -0.1},
+		{N: 4, Beta: 1.1},
+		{N: 4, Beta: 0.5, Gamma: -0.1},
+		{N: 4, Beta: 0.5, Gamma: 1},
+		{N: 4, Beta: 0.5, Insert: InsertMode(99)},
+	}
+	for _, cfg := range cases {
+		if _, err := New(cfg, 10); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+	if _, err := New(Config{N: 4, Beta: 0.5}, 0); err == nil {
+		t.Error("zero capacity accepted")
+	}
+}
+
+func TestInsertModeDefaultsToUniform(t *testing.T) {
+	p, err := New(Config{N: 4, Beta: 1}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.InsertMany(100); err != nil {
+		t.Fatal(err)
+	}
+	if p.Size() != 100 {
+		t.Fatalf("Size = %d", p.Size())
+	}
+}
+
+func TestCapacityExhaustion(t *testing.T) {
+	p, err := New(Config{N: 2, Beta: 1}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.InsertMany(5); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := p.Insert(); err == nil {
+		t.Fatal("insert past capacity succeeded")
+	}
+}
+
+func TestSingleQueueIsExactFIFO(t *testing.T) {
+	// With n=1 every removal takes the global minimum: rank must always be 1.
+	p, err := New(Config{N: 1, Beta: 1, Seed: 3}, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.InsertMany(1000); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		r, ok := p.Remove()
+		if !ok {
+			t.Fatalf("drained early at %d", i)
+		}
+		if r.Rank != 1 {
+			t.Fatalf("rank %d at step %d, want 1", r.Rank, i)
+		}
+		if r.Label != i {
+			t.Fatalf("label %d at step %d, want %d", r.Label, i, i)
+		}
+	}
+	if _, ok := p.Remove(); ok {
+		t.Fatal("removal from empty process succeeded")
+	}
+}
+
+func TestRoundRobinInsertPlacement(t *testing.T) {
+	const n = 4
+	p, err := New(Config{N: n, Beta: 1, Insert: InsertRoundRobin}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		label, q, err := p.Insert()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if label != i || q != i%n {
+			t.Fatalf("insert %d went to queue %d as label %d", i, q, label)
+		}
+	}
+}
+
+func TestRanksAreConsistent(t *testing.T) {
+	// Every removal's rank must equal 1 + number of present labels smaller
+	// than it; verify against a brute-force set.
+	const n, m = 8, 400
+	p, err := New(Config{N: n, Beta: 0.7, Seed: 9}, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.InsertMany(m); err != nil {
+		t.Fatal(err)
+	}
+	present := make(map[int]bool, m)
+	for i := 0; i < m; i++ {
+		present[i] = true
+	}
+	for i := 0; i < m; i++ {
+		r, ok := p.Remove()
+		if !ok {
+			t.Fatalf("drained early at %d", i)
+		}
+		want := int64(0)
+		for l := range present {
+			if l <= r.Label {
+				want++
+			}
+		}
+		if r.Rank != want {
+			t.Fatalf("step %d: rank %d, want %d", i, r.Rank, want)
+		}
+		if !present[r.Label] {
+			t.Fatalf("step %d: removed absent label %d", i, r.Label)
+		}
+		delete(present, r.Label)
+	}
+	if p.Size() != 0 {
+		t.Fatalf("Size = %d after drain", p.Size())
+	}
+}
+
+func TestRemovalNeverReturnsSameLabelTwice(t *testing.T) {
+	const m = 2000
+	p, err := New(Config{N: 16, Beta: 0.5, Seed: 17}, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.InsertMany(m); err != nil {
+		t.Fatal(err)
+	}
+	seen := make([]bool, m)
+	for i := 0; i < m; i++ {
+		r, ok := p.Remove()
+		if !ok {
+			t.Fatalf("drained at %d", i)
+		}
+		if seen[r.Label] {
+			t.Fatalf("label %d removed twice", r.Label)
+		}
+		seen[r.Label] = true
+	}
+}
+
+func TestTwoChoiceRemovesQueueMin(t *testing.T) {
+	// The removed label must always be the head (minimum) of the queue it
+	// came from, and with β=1 it must be the smaller of the two tops.
+	const m = 500
+	p, err := New(Config{N: 4, Beta: 1, Seed: 23}, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.InsertMany(m); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < m/2; i++ {
+		tops := make(map[int]int)
+		for q := 0; q < 4; q++ {
+			if l, ok := p.Top(q); ok {
+				tops[q] = l
+			}
+		}
+		r, ok := p.Remove()
+		if !ok {
+			break
+		}
+		if want, okTop := tops[r.Queue]; !okTop || want != r.Label {
+			t.Fatalf("step %d: removed %d from queue %d whose top was %d", i, r.Label, r.Queue, want)
+		}
+	}
+}
+
+func TestPrefixedExecutionNeverTouchesEmpty(t *testing.T) {
+	// A big prefill with removals of half the buffer is prefixed: the empty
+	// inspection counter must stay zero.
+	series, err := Run(RunSpec{
+		Cfg:         Config{N: 32, Beta: 1, Seed: 31},
+		Prefill:     32 * 200,
+		Steps:       32 * 100,
+		SampleEvery: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if series.EmptyInspections != 0 {
+		t.Errorf("prefixed run inspected empty queues %d times", series.EmptyInspections)
+	}
+}
+
+func TestDrainToleratesEmptyQueues(t *testing.T) {
+	// Draining the process completely must succeed (non-prefixed regime).
+	const m = 200
+	p, err := New(Config{N: 16, Beta: 1, Seed: 37}, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.InsertMany(m); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < m; i++ {
+		if _, ok := p.Remove(); !ok {
+			t.Fatalf("drained at %d, want %d removals", i, m)
+		}
+	}
+	if _, ok := p.Remove(); ok {
+		t.Fatal("removal from empty succeeded")
+	}
+	if p.EmptyInspections() == 0 {
+		t.Log("note: drain never touched an empty queue (possible but unlikely)")
+	}
+}
+
+func TestNewFromBins(t *testing.T) {
+	bins := [][]int{{0, 3, 5}, {1, 2}, {4}}
+	p, err := NewFromBins(bins, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Size() != 6 {
+		t.Fatalf("Size = %d", p.Size())
+	}
+	for q, want := range []int{0, 1, 4} {
+		if got, ok := p.Top(q); !ok || got != want {
+			t.Errorf("Top(%d) = (%d,%v), want %d", q, got, ok, want)
+		}
+	}
+	// Rank of label 4 should be 5 (labels 0..4 present).
+	r, ok := p.RemoveAt(2, -1)
+	if !ok || r.Label != 4 || r.Rank != 5 {
+		t.Fatalf("RemoveAt = %+v, %v", r, ok)
+	}
+}
+
+func TestNewFromBinsValidates(t *testing.T) {
+	if _, err := NewFromBins([][]int{{3, 1}}, 1, 1); err == nil {
+		t.Error("descending bin accepted")
+	}
+	if _, err := NewFromBins([][]int{{-1}}, 1, 1); err == nil {
+		t.Error("negative label accepted")
+	}
+	if _, err := NewFromBins([][]int{{}}, 1, 1); err == nil {
+		t.Error("empty system accepted")
+	}
+}
+
+func TestRemoveAtSingleChoice(t *testing.T) {
+	p, err := NewFromBins([][]int{{0}, {1}, {2}}, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok := p.RemoveAt(2, -1)
+	if !ok || r.Queue != 2 || r.Label != 2 {
+		t.Fatalf("RemoveAt(2,-1) = %+v, %v", r, ok)
+	}
+	// Single-choice at a now different queue.
+	r, ok = p.RemoveAt(0, -1)
+	if !ok || r.Queue != 0 || r.Label != 0 {
+		t.Fatalf("RemoveAt(0,-1) = %+v, %v", r, ok)
+	}
+}
+
+func TestCompactionPreservesBehaviour(t *testing.T) {
+	// Long steady-state run exercising the queue compaction path; validate
+	// sizes and monotone labels per queue throughout.
+	const n = 4
+	const steps = 20000
+	p, err := New(Config{N: n, Beta: 1, Seed: 41}, n*64+steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.InsertMany(n * 64); err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < steps; s++ {
+		r, ok := p.Remove()
+		if !ok {
+			t.Fatalf("drained at %d", s)
+		}
+		if r.Rank < 1 {
+			t.Fatalf("rank %d < 1", r.Rank)
+		}
+		if _, _, err := p.Insert(); err != nil {
+			t.Fatal(err)
+		}
+		if p.Size() != n*64 {
+			t.Fatalf("size drifted to %d", p.Size())
+		}
+	}
+}
+
+func TestTopRanksAndMaxTopRank(t *testing.T) {
+	p, err := NewFromBins([][]int{{0, 9}, {5}, {7}}, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Present: 0,5,7,9. Tops: 0 (rank 1), 5 (rank 2), 7 (rank 3).
+	ranks := p.TopRanks()
+	want := []int64{1, 2, 3}
+	if len(ranks) != len(want) {
+		t.Fatalf("TopRanks = %v", ranks)
+	}
+	for i := range want {
+		if ranks[i] != want[i] {
+			t.Fatalf("TopRanks = %v, want %v", ranks, want)
+		}
+	}
+	if got := p.MaxTopRank(); got != 3 {
+		t.Fatalf("MaxTopRank = %d", got)
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	run := func() []int64 {
+		p, err := New(Config{N: 8, Beta: 0.6, Seed: 77}, 1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.InsertMany(1000); err != nil {
+			t.Fatal(err)
+		}
+		var out []int64
+		for i := 0; i < 500; i++ {
+			r, _ := p.Remove()
+			out = append(out, r.Rank)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("replay diverged at step %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestBiasedInsertionFrequencies(t *testing.T) {
+	const n, m = 8, 80000
+	const gamma = 0.5
+	p, err := New(Config{N: n, Beta: 1, Gamma: gamma, Insert: InsertBiased, Seed: 51}, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, n)
+	for i := 0; i < m; i++ {
+		_, q, err := p.Insert()
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[q]++
+	}
+	for i, c := range counts {
+		pi := float64(c) / m
+		ratio := 1 / (float64(n) * pi)
+		if ratio < 1-gamma-0.08 || ratio > 1+gamma+0.12 {
+			t.Errorf("queue %d: empirical 1/(nπ) = %v outside γ band", i, ratio)
+		}
+	}
+}
+
+func TestPotentialOfFlatConfiguration(t *testing.T) {
+	// All tops equal: y_i = 0, so Φ = Ψ = n and Γ = 2n, spread 0.
+	tops := []float64{5, 5, 5, 5}
+	v := Potential(tops, nil, 0.1)
+	if math.Abs(v.Phi-4) > 1e-12 || math.Abs(v.Psi-4) > 1e-12 {
+		t.Errorf("Phi/Psi = %v/%v, want 4/4", v.Phi, v.Psi)
+	}
+	if v.Spread != 0 {
+		t.Errorf("Spread = %v", v.Spread)
+	}
+}
+
+func TestPotentialRespectsMask(t *testing.T) {
+	tops := []float64{5, 1e9, 5}
+	mask := []bool{true, false, true}
+	v := Potential(tops, mask, 0.1)
+	if math.Abs(v.Gamma-4) > 1e-9 {
+		t.Errorf("masked Γ = %v, want 4", v.Gamma)
+	}
+	empty := Potential(nil, nil, 0.1)
+	if empty.Gamma != 0 {
+		t.Errorf("empty potential = %+v", empty)
+	}
+}
+
+func TestAlphaForPositive(t *testing.T) {
+	for _, beta := range []float64{0, 0.1, 0.5, 1} {
+		for _, gamma := range []float64{0, 0.25, 0.5} {
+			if a := AlphaFor(beta, gamma); a <= 0 || a >= 1 {
+				t.Errorf("AlphaFor(%v,%v) = %v", beta, gamma, a)
+			}
+		}
+	}
+}

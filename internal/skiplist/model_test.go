@@ -1,0 +1,62 @@
+package skiplist
+
+import (
+	"container/heap"
+	"testing"
+	"testing/quick"
+)
+
+// refHeap is the reference model.
+type refHeap []uint64
+
+func (h refHeap) Len() int            { return len(h) }
+func (h refHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h refHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x interface{}) { *h = append(*h, x.(uint64)) }
+func (h *refHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// TestSequentialModelEquivalence drives the skiplist single-threaded
+// through random operation sequences and compares every observable against
+// container/heap: used sequentially, the skiplist is an exact priority
+// queue and must agree on every pop.
+func TestSequentialModelEquivalence(t *testing.T) {
+	check := func(ops []uint16) bool {
+		s := New[struct{}](42)
+		ref := &refHeap{}
+		for _, op := range ops {
+			if ref.Len() == 0 || op%3 != 0 {
+				k := uint64(op) * 7 % 997
+				s.Insert(k, struct{}{})
+				heap.Push(ref, k)
+			} else {
+				got, _, ok := s.DeleteMin()
+				want := heap.Pop(ref).(uint64)
+				if !ok || got != want {
+					return false
+				}
+			}
+			if s.Len() != ref.Len() {
+				return false
+			}
+		}
+		// Drain both.
+		for ref.Len() > 0 {
+			got, _, ok := s.DeleteMin()
+			want := heap.Pop(ref).(uint64)
+			if !ok || got != want {
+				return false
+			}
+		}
+		_, _, ok := s.DeleteMin()
+		return !ok
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

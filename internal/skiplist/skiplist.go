@@ -1,0 +1,240 @@
+// Package skiplist implements a Lindén–Jonsson-style concurrent skiplist
+// priority queue, the strongest non-relaxed baseline of the paper's
+// evaluation (§5). Inserts are lock-free (CAS over immutable next-references
+// carrying a deletion mark, in the style of Harris lists / the
+// Herlihy–Shavit lock-free skiplist); DeleteMin logically deletes the head
+// of the bottom level by CAS-marking its next reference, with best-effort
+// inline unlinking and lazy physical cleanup during traversals — the
+// batched-restructuring idea of Lindén and Jonsson.
+//
+// Unlike the MultiQueue, this is an exact priority queue: DeleteMin returns
+// the global minimum among completed insertions. Its single hot front is
+// precisely the scalability bottleneck the MultiQueue removes.
+package skiplist
+
+import (
+	"math"
+	"runtime"
+	"sync/atomic"
+)
+
+// maxLevel bounds tower heights; level 24 comfortably indexes 2^24+ nodes.
+const maxLevel = 24
+
+// nextRef is an immutable (successor, mark) pair. A node is logically
+// deleted once the mark of its bottom-level reference is set. CAS over
+// freshly allocated nextRefs gives mark-and-pointer atomicity without tagged
+// pointers (which Go's GC forbids).
+type nextRef[V any] struct {
+	node   *node[V]
+	marked bool
+}
+
+type node[V any] struct {
+	key   uint64
+	value V
+	next  []atomic.Pointer[nextRef[V]]
+}
+
+// SkipList is a concurrent priority queue over uint64 keys (smaller = higher
+// priority). All methods are safe for concurrent use. The zero value is
+// unusable; construct with New.
+type SkipList[V any] struct {
+	head *node[V]
+	size atomic.Int64
+	// rngState seeds tower-height draws; a single atomic splitmix64 walk
+	// shared by all inserters.
+	rngState atomic.Uint64
+}
+
+// New returns an empty skiplist priority queue.
+func New[V any](seed uint64) *SkipList[V] {
+	h := &node[V]{next: make([]atomic.Pointer[nextRef[V]], maxLevel)}
+	empty := &nextRef[V]{}
+	for i := range h.next {
+		h.next[i].Store(empty)
+	}
+	s := &SkipList[V]{head: h}
+	s.rngState.Store(seed)
+	return s
+}
+
+// Len returns the number of elements, counting in-flight inserts.
+func (s *SkipList[V]) Len() int { return int(s.size.Load()) }
+
+// randomLevel draws a geometric(1/2) tower height from the shared state.
+func (s *SkipList[V]) randomLevel() int {
+	x := s.rngState.Add(0x9e3779b97f4a7c15)
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	lvl := 1
+	for x&1 == 1 && lvl < maxLevel {
+		lvl++
+		x >>= 1
+	}
+	return lvl
+}
+
+// find locates the insertion window for key at every level, physically
+// unlinking logically deleted nodes it passes (Harris-style helping). It
+// returns preds/succs plus the exact wrapper observed at each pred, which
+// callers must CAS against.
+func (s *SkipList[V]) find(key uint64) (preds []*node[V], succs []*node[V], predRefs []*nextRef[V]) {
+	preds = make([]*node[V], maxLevel)
+	succs = make([]*node[V], maxLevel)
+	predRefs = make([]*nextRef[V], maxLevel)
+retry:
+	pred := s.head
+	for l := maxLevel - 1; l >= 0; l-- {
+		for {
+			pw := pred.next[l].Load()
+			if pw.marked {
+				// pred was deleted under us. Its wrapper must never escape
+				// as a CAS anchor: an Insert CASing {succ,true}→{n,false}
+				// would resurrect the deleted node and strand n on an
+				// unreachable chain. Restart from the head.
+				goto retry
+			}
+			cur := pw.node
+			if cur == nil {
+				preds[l], succs[l], predRefs[l] = pred, nil, pw
+				break
+			}
+			cw := cur.next[l].Load()
+			if cw.marked {
+				// cur is deleted: unlink it at this level.
+				if !pred.next[l].CompareAndSwap(pw, &nextRef[V]{node: cw.node}) {
+					goto retry
+				}
+				continue
+			}
+			if cur.key < key {
+				pred = cur
+				continue
+			}
+			preds[l], succs[l], predRefs[l] = pred, cur, pw
+			break
+		}
+	}
+	return preds, succs, predRefs
+}
+
+// Insert adds an element. Keys equal to MaxUint64 are accepted unchanged
+// (the skiplist has no sentinel in the key space).
+func (s *SkipList[V]) Insert(key uint64, value V) {
+	// Count before publication so emptiness is authoritative (DeleteMin
+	// never reports empty with an insert in flight).
+	s.size.Add(1)
+	topLevel := s.randomLevel()
+	n := &node[V]{
+		key:   key,
+		value: value,
+		next:  make([]atomic.Pointer[nextRef[V]], topLevel),
+	}
+	// Link the bottom level; the node becomes logically present once this
+	// CAS lands.
+	for {
+		preds, succs, predRefs := s.find(key)
+		n.next[0].Store(&nextRef[V]{node: succs[0]})
+		if preds[0].next[0].CompareAndSwap(predRefs[0], &nextRef[V]{node: n}) {
+			break
+		}
+	}
+	// Link upper levels, tolerating concurrent deletion of n.
+	for l := 1; l < topLevel; l++ {
+		for {
+			preds, succs, predRefs := s.find(key)
+			cw := n.next[l].Load()
+			if cw != nil && cw.marked {
+				return // n was deleted while linking; stop.
+			}
+			if cw == nil || cw.node != succs[l] {
+				if !n.next[l].CompareAndSwap(cw, &nextRef[V]{node: succs[l]}) {
+					continue
+				}
+			}
+			if predRefs[l].marked || predRefs[l].node != succs[l] {
+				continue
+			}
+			if preds[l].next[l].CompareAndSwap(predRefs[l], &nextRef[V]{node: n}) {
+				break
+			}
+		}
+	}
+}
+
+// DeleteMin removes and returns the minimum-key element. It returns
+// ok=false only when the structure is empty (in-flight inserts count as
+// present; the call spins until they land).
+func (s *SkipList[V]) DeleteMin() (uint64, V, bool) {
+	for attempt := 0; ; attempt++ {
+		pred := s.head
+		pw := pred.next[0].Load()
+		x := pw.node
+		for x != nil {
+			xw := x.next[0].Load()
+			if xw.marked {
+				// Deleted node: try to unlink it from head's chain, then
+				// advance.
+				if pred.next[0].CompareAndSwap(pw, &nextRef[V]{node: xw.node}) {
+					pw = pred.next[0].Load()
+				} else {
+					pw = pred.next[0].Load()
+				}
+				x = pw.node
+				continue
+			}
+			// Candidate minimum: mark upper levels top-down, then race for
+			// the bottom mark.
+			for l := len(x.next) - 1; l >= 1; l-- {
+				for {
+					w := x.next[l].Load()
+					if w == nil {
+						// Level not yet linked by the inserter; claim it as
+						// marked so the inserter stops at it.
+						if x.next[l].CompareAndSwap(nil, &nextRef[V]{marked: true}) {
+							break
+						}
+						continue
+					}
+					if w.marked {
+						break
+					}
+					if x.next[l].CompareAndSwap(w, &nextRef[V]{node: w.node, marked: true}) {
+						break
+					}
+				}
+			}
+			if x.next[0].CompareAndSwap(xw, &nextRef[V]{node: xw.node, marked: true}) {
+				s.size.Add(-1)
+				// Best-effort immediate unlink; traversals clean up the rest.
+				pred.next[0].CompareAndSwap(pw, &nextRef[V]{node: xw.node})
+				return x.key, x.value, true
+			}
+			// Lost the race: either another deleter took x or an insert
+			// landed right after it; re-read and retry on the same node.
+		}
+		if s.size.Load() <= 0 {
+			var zero V
+			return 0, zero, false
+		}
+		// Elements in flight; yield and retry.
+		if attempt%4 == 3 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// PeekMin returns the current minimum without removing it (a racy snapshot,
+// as in any concurrent queue).
+func (s *SkipList[V]) PeekMin() (uint64, bool) {
+	x := s.head.next[0].Load().node
+	for x != nil {
+		if !x.next[0].Load().marked {
+			return x.key, true
+		}
+		x = x.next[0].Load().node
+	}
+	return math.MaxUint64, false
+}

@@ -1,0 +1,312 @@
+package skiplist
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"testing"
+
+	"powerchoice/internal/xrand"
+)
+
+func TestEmpty(t *testing.T) {
+	s := New[int](1)
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if _, _, ok := s.DeleteMin(); ok {
+		t.Fatal("DeleteMin on empty returned ok")
+	}
+	if _, ok := s.PeekMin(); ok {
+		t.Fatal("PeekMin on empty returned ok")
+	}
+}
+
+func TestSequentialSortedPops(t *testing.T) {
+	s := New[int](2)
+	rng := xrand.NewSource(3)
+	const n = 5000
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = rng.Uint64() % 100000
+		s.Insert(keys[i], i)
+	}
+	if s.Len() != n {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for i, want := range keys {
+		k, _, ok := s.DeleteMin()
+		if !ok {
+			t.Fatalf("drained at %d", i)
+		}
+		if k != want {
+			t.Fatalf("pop %d = %d, want %d", i, k, want)
+		}
+	}
+	if _, _, ok := s.DeleteMin(); ok {
+		t.Fatal("extra element")
+	}
+}
+
+func TestDuplicateKeys(t *testing.T) {
+	s := New[int](4)
+	for i := 0; i < 100; i++ {
+		s.Insert(7, i)
+	}
+	seen := map[int]bool{}
+	for i := 0; i < 100; i++ {
+		k, v, ok := s.DeleteMin()
+		if !ok || k != 7 {
+			t.Fatalf("pop %d = (%d,%v)", i, k, ok)
+		}
+		if seen[v] {
+			t.Fatalf("value %d popped twice", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestPeekMin(t *testing.T) {
+	s := New[string](5)
+	s.Insert(10, "ten")
+	s.Insert(3, "three")
+	s.Insert(7, "seven")
+	if k, ok := s.PeekMin(); !ok || k != 3 {
+		t.Fatalf("PeekMin = (%d,%v)", k, ok)
+	}
+	if s.Len() != 3 {
+		t.Fatal("PeekMin consumed an element")
+	}
+}
+
+func TestExtremeKeys(t *testing.T) {
+	s := New[int](6)
+	s.Insert(math.MaxUint64, 1)
+	s.Insert(0, 2)
+	k, v, _ := s.DeleteMin()
+	if k != 0 || v != 2 {
+		t.Fatalf("first pop = (%d,%d)", k, v)
+	}
+	k, v, _ = s.DeleteMin()
+	if k != math.MaxUint64 || v != 1 {
+		t.Fatalf("second pop = (%d,%d)", k, v)
+	}
+}
+
+func TestInsertBelowDeletedPrefix(t *testing.T) {
+	// Delete a batch to create a marked prefix, then insert smaller keys
+	// and verify they surface first.
+	s := New[int](7)
+	for i := 100; i < 200; i++ {
+		s.Insert(uint64(i), i)
+	}
+	for i := 0; i < 50; i++ {
+		s.DeleteMin()
+	}
+	s.Insert(5, 5)
+	s.Insert(1, 1)
+	k, _, ok := s.DeleteMin()
+	if !ok || k != 1 {
+		t.Fatalf("pop = (%d,%v), want 1", k, ok)
+	}
+	k, _, ok = s.DeleteMin()
+	if !ok || k != 5 {
+		t.Fatalf("pop = (%d,%v), want 5", k, ok)
+	}
+	k, _, ok = s.DeleteMin()
+	if !ok || k != 150 {
+		t.Fatalf("pop = (%d,%v), want 150", k, ok)
+	}
+}
+
+func TestConcurrentMultisetPreservation(t *testing.T) {
+	const workers = 8
+	const perWorker = 10000
+	s := New[uint64](8)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				k := uint64(w*perWorker + i)
+				s.Insert(k, k)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Len() != workers*perWorker {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	results := make([][]uint64, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var out []uint64
+			for {
+				k, v, ok := s.DeleteMin()
+				if !ok {
+					break
+				}
+				if k != v {
+					t.Errorf("key %d carried value %d", k, v)
+					return
+				}
+				out = append(out, k)
+			}
+			results[w] = out
+		}(w)
+	}
+	wg.Wait()
+	seen := make([]bool, workers*perWorker)
+	total := 0
+	for _, out := range results {
+		for _, k := range out {
+			if seen[k] {
+				t.Fatalf("key %d deleted twice", k)
+			}
+			seen[k] = true
+			total++
+		}
+	}
+	if total != workers*perWorker {
+		t.Fatalf("recovered %d of %d", total, workers*perWorker)
+	}
+}
+
+func TestConcurrentDeleteMinIsOrderedPerThread(t *testing.T) {
+	// DeleteMin returns the global minimum at linearization: each thread's
+	// observed key sequence must be non-decreasing when no inserts run.
+	const workers = 4
+	const n = 40000
+	s := New[uint64](9)
+	for i := 0; i < n; i++ {
+		s.Insert(uint64(i), uint64(i))
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var prev uint64
+			first := true
+			for {
+				k, _, ok := s.DeleteMin()
+				if !ok {
+					return
+				}
+				if !first && k < prev {
+					t.Errorf("per-thread order violated: %d after %d", k, prev)
+					return
+				}
+				prev, first = k, false
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestConcurrentMixedInsertDelete(t *testing.T) {
+	const workers = 8
+	const ops = 15000
+	s := New[int](10)
+	var wg sync.WaitGroup
+	var inserted, deleted [workers]int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := xrand.NewSource(uint64(100 + w))
+			for i := 0; i < ops; i++ {
+				if rng.Float64() < 0.6 {
+					s.Insert(rng.Uint64()%1e6, i)
+					inserted[w]++
+				} else if _, _, ok := s.DeleteMin(); ok {
+					deleted[w]++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	var ins, del int64
+	for w := 0; w < workers; w++ {
+		ins += inserted[w]
+		del += deleted[w]
+	}
+	if got := int64(s.Len()); got != ins-del {
+		t.Fatalf("Len = %d, want %d", got, ins-del)
+	}
+	var drained int64
+	var prev uint64
+	for {
+		k, _, ok := s.DeleteMin()
+		if !ok {
+			break
+		}
+		if k < prev {
+			t.Fatalf("drain out of order: %d after %d", k, prev)
+		}
+		prev = k
+		drained++
+	}
+	if drained != ins-del {
+		t.Fatalf("drained %d, want %d", drained, ins-del)
+	}
+}
+
+func TestInterleavedReuse(t *testing.T) {
+	s := New[int](11)
+	for round := 0; round < 5; round++ {
+		for i := 0; i < 200; i++ {
+			s.Insert(uint64(i), i)
+		}
+		for i := 0; i < 200; i++ {
+			k, _, ok := s.DeleteMin()
+			if !ok || k != uint64(i) {
+				t.Fatalf("round %d: pop %d = (%d,%v)", round, i, k, ok)
+			}
+		}
+	}
+}
+
+func BenchmarkInsertDeleteSequential(b *testing.B) {
+	s := New[struct{}](1)
+	rng := xrand.NewSource(2)
+	for i := 0; i < 1024; i++ {
+		s.Insert(rng.Uint64(), struct{}{})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Insert(rng.Uint64(), struct{}{})
+		s.DeleteMin()
+	}
+}
+
+func BenchmarkInsertDeleteParallel(b *testing.B) {
+	s := New[struct{}](1)
+	var seed atomicCounter
+	b.RunParallel(func(pb *testing.PB) {
+		rng := xrand.NewSource(seed.next())
+		for i := 0; i < 256; i++ {
+			s.Insert(rng.Uint64(), struct{}{})
+		}
+		for pb.Next() {
+			s.Insert(rng.Uint64(), struct{}{})
+			s.DeleteMin()
+		}
+	})
+}
+
+type atomicCounter struct {
+	mu sync.Mutex
+	v  uint64
+}
+
+func (c *atomicCounter) next() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.v++
+	return c.v
+}

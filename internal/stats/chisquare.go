@@ -1,0 +1,99 @@
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrChiSquare reports invalid input to ChiSquare.
+var ErrChiSquare = errors.New("stats: chi-square needs matching non-empty observed/expected with positive expected counts")
+
+// ChiSquare returns the Pearson chi-square statistic and its p-value for the
+// observed counts against the expected counts (degrees of freedom =
+// len(observed) - 1). Used to test the Theorem 2 claim that the bin holding
+// the rank-i element is distributed identically (≡ π) in the original and
+// exponential processes.
+func ChiSquare(observed []float64, expected []float64) (statistic, pValue float64, err error) {
+	if len(observed) == 0 || len(observed) != len(expected) {
+		return 0, 0, ErrChiSquare
+	}
+	var chi2 float64
+	for i := range observed {
+		if expected[i] <= 0 {
+			return 0, 0, ErrChiSquare
+		}
+		d := observed[i] - expected[i]
+		chi2 += d * d / expected[i]
+	}
+	df := float64(len(observed) - 1)
+	if df == 0 {
+		return chi2, 1, nil
+	}
+	// p = P[X > chi2] = 1 - P(df/2, chi2/2) where P is the regularised lower
+	// incomplete gamma function.
+	return chi2, 1 - gammaP(df/2, chi2/2), nil
+}
+
+// gammaP computes the regularised lower incomplete gamma function P(a, x)
+// via the series expansion for x < a+1 and the continued fraction otherwise
+// (Numerical Recipes, gser/gcf).
+func gammaP(a, x float64) float64 {
+	switch {
+	case x < 0 || a <= 0:
+		return math.NaN()
+	case x == 0:
+		return 0
+	case x < a+1:
+		return gser(a, x)
+	default:
+		return 1 - gcf(a, x)
+	}
+}
+
+func gser(a, x float64) float64 {
+	const itmax = 200
+	const eps = 3e-14
+	ap := a
+	sum := 1 / a
+	del := sum
+	for i := 0; i < itmax; i++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*eps {
+			break
+		}
+	}
+	lg, _ := math.Lgamma(a)
+	return sum * math.Exp(-x+a*math.Log(x)-lg)
+}
+
+func gcf(a, x float64) float64 {
+	const itmax = 200
+	const eps = 3e-14
+	const fpmin = 1e-300
+	b := x + 1 - a
+	c := 1 / fpmin
+	d := 1 / b
+	h := d
+	for i := 1; i <= itmax; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = b + an/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	lg, _ := math.Lgamma(a)
+	return math.Exp(-x+a*math.Log(x)-lg) * h
+}

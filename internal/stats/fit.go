@@ -1,0 +1,60 @@
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrFit reports that a regression could not be computed (too few points or
+// degenerate inputs).
+var ErrFit = errors.New("stats: degenerate regression input")
+
+// LinFit fits y = a + b·x by ordinary least squares and returns the
+// intercept a, slope b, and the coefficient of determination R².
+func LinFit(xs, ys []float64) (a, b, r2 float64, err error) {
+	n := len(xs)
+	if n != len(ys) || n < 2 {
+		return 0, 0, 0, ErrFit
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxx, sxy, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return 0, 0, 0, ErrFit
+	}
+	b = sxy / sxx
+	a = my - b*mx
+	if syy == 0 {
+		// All ys identical: a horizontal line fits perfectly.
+		return a, b, 1, nil
+	}
+	r2 = sxy * sxy / (sxx * syy)
+	return a, b, r2, nil
+}
+
+// PowerFit fits y = c·x^p by linear regression in log-log space and returns
+// (c, p, R²). All inputs must be strictly positive.
+func PowerFit(xs, ys []float64) (c, p, r2 float64, err error) {
+	lx := make([]float64, len(xs))
+	ly := make([]float64, len(ys))
+	if len(xs) != len(ys) {
+		return 0, 0, 0, ErrFit
+	}
+	for i := range xs {
+		if xs[i] <= 0 || ys[i] <= 0 {
+			return 0, 0, 0, ErrFit
+		}
+		lx[i] = math.Log(xs[i])
+		ly[i] = math.Log(ys[i])
+	}
+	a, b, r2, err := LinFit(lx, ly)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return math.Exp(a), b, r2, nil
+}

@@ -1,0 +1,81 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram counts observations in geometric (power-of-two) buckets:
+// bucket k holds values in [2^k, 2^(k+1)), bucket 0 holds [0, 2) including
+// zero and negatives. Rank errors span several orders of magnitude, so
+// log-bucketing is the natural presentation (cf. the log-scale y axis of
+// Figure 2).
+type Histogram struct {
+	buckets []int64
+	total   int64
+}
+
+// NewHistogram returns a histogram with maxBucket+1 buckets; values beyond
+// the last bucket are clamped into it.
+func NewHistogram(maxBucket int) *Histogram {
+	if maxBucket < 0 {
+		maxBucket = 0
+	}
+	return &Histogram{buckets: make([]int64, maxBucket+1)}
+}
+
+// bucketOf maps a value to its bucket index.
+func (h *Histogram) bucketOf(x float64) int {
+	if x < 2 {
+		return 0
+	}
+	b := int(math.Floor(math.Log2(x)))
+	if b >= len(h.buckets) {
+		b = len(h.buckets) - 1
+	}
+	return b
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.buckets[h.bucketOf(x)]++
+	h.total++
+}
+
+// Total returns the number of observations.
+func (h *Histogram) Total() int64 { return h.total }
+
+// Bucket returns the count in bucket k.
+func (h *Histogram) Bucket(k int) int64 {
+	if k < 0 || k >= len(h.buckets) {
+		return 0
+	}
+	return h.buckets[k]
+}
+
+// NumBuckets returns the bucket count.
+func (h *Histogram) NumBuckets() int { return len(h.buckets) }
+
+// String renders a compact ASCII bar chart.
+func (h *Histogram) String() string {
+	var sb strings.Builder
+	maxCount := int64(1)
+	for _, c := range h.buckets {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	for k, c := range h.buckets {
+		if c == 0 {
+			continue
+		}
+		bar := int(40 * c / maxCount)
+		lo := int64(1) << k
+		if k == 0 {
+			lo = 0
+		}
+		fmt.Fprintf(&sb, "[%8d, %8d) %8d %s\n", lo, int64(1)<<(k+1), c, strings.Repeat("#", bar))
+	}
+	return sb.String()
+}

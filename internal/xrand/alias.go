@@ -1,0 +1,131 @@
+package xrand
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Alias samples from a fixed discrete distribution in O(1) per draw using
+// Walker's alias method (Vose's variant). It implements the biased insertion
+// distributions π of §3: queue i is chosen with probability π_i, where
+// 1-γ ≤ 1/(n·π_i) ≤ 1+γ.
+//
+// Alias is immutable after construction and therefore safe for concurrent
+// Sample calls, provided each caller supplies its own Source.
+type Alias struct {
+	prob  []float64
+	alias []int
+}
+
+// ErrBadWeights reports an invalid weight vector passed to NewAlias.
+var ErrBadWeights = errors.New("xrand: weights must be non-empty, non-negative, with positive sum")
+
+// NewAlias builds an alias table for the distribution proportional to
+// weights. Weights need not be normalised.
+func NewAlias(weights []float64) (*Alias, error) {
+	n := len(weights)
+	if n == 0 {
+		return nil, ErrBadWeights
+	}
+	var sum float64
+	for _, w := range weights {
+		if w < 0 || w != w { // negative or NaN
+			return nil, ErrBadWeights
+		}
+		sum += w
+	}
+	if sum <= 0 {
+		return nil, ErrBadWeights
+	}
+
+	a := &Alias{
+		prob:  make([]float64, n),
+		alias: make([]int, n),
+	}
+	scaled := make([]float64, n)
+	small := make([]int, 0, n)
+	large := make([]int, 0, n)
+	for i, w := range weights {
+		scaled[i] = w * float64(n) / sum
+		if scaled[i] < 1 {
+			small = append(small, i)
+		} else {
+			large = append(large, i)
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		a.prob[s] = scaled[s]
+		a.alias[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	// Numerical leftovers are all (within rounding) probability 1.
+	for _, i := range large {
+		a.prob[i] = 1
+		a.alias[i] = i
+	}
+	for _, i := range small {
+		a.prob[i] = 1
+		a.alias[i] = i
+	}
+	return a, nil
+}
+
+// N returns the support size of the distribution.
+func (a *Alias) N() int { return len(a.prob) }
+
+// Sample draws one index from the distribution using src.
+func (a *Alias) Sample(src *Source) int {
+	i := src.Intn(len(a.prob))
+	if src.Float64() < a.prob[i] {
+		return i
+	}
+	return a.alias[i]
+}
+
+// BiasedWeights returns an n-entry weight vector satisfying the paper's §3
+// bias condition with parameter gamma: 1-γ ≤ 1/(n·π_i) ≤ 1+γ. Half of the
+// bins (rounded down) get the maximal allowed probability 1/(n(1-γ)) and the
+// rest share the remainder equally, which keeps every entry inside the band.
+// gamma = 0 yields the uniform distribution.
+func BiasedWeights(n int, gamma float64) ([]float64, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("xrand: BiasedWeights with n=%d", n)
+	}
+	if gamma < 0 || gamma >= 1 {
+		return nil, fmt.Errorf("xrand: BiasedWeights gamma=%v outside [0,1)", gamma)
+	}
+	w := make([]float64, n)
+	if gamma == 0 || n == 1 {
+		for i := range w {
+			w[i] = 1
+		}
+		return w, nil
+	}
+	hot := n / 2
+	hi := 1 / (float64(n) * (1 - gamma)) // maximal allowed π
+	rest := (1 - hi*float64(hot)) / float64(n-hot)
+	lo := 1 / (float64(n) * (1 + gamma)) // minimal allowed π
+	if rest < lo {
+		// The requested bias is too extreme to balance; clamp the cold bins
+		// at the minimum and renormalise the hot ones.
+		rest = lo
+		hi = (1 - rest*float64(n-hot)) / float64(hot)
+	}
+	for i := range w {
+		if i < hot {
+			w[i] = hi
+		} else {
+			w[i] = rest
+		}
+	}
+	return w, nil
+}

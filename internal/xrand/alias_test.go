@@ -1,0 +1,166 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAliasRejectsBadInput(t *testing.T) {
+	cases := [][]float64{
+		nil,
+		{},
+		{-1, 2},
+		{0, 0, 0},
+		{math.NaN(), 1},
+	}
+	for _, ws := range cases {
+		if _, err := NewAlias(ws); err == nil {
+			t.Errorf("NewAlias(%v) succeeded, want error", ws)
+		}
+	}
+}
+
+func TestAliasMatchesDistribution(t *testing.T) {
+	weights := []float64{1, 2, 3, 4}
+	a, err := NewAlias(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSource(5)
+	const trials = 400000
+	counts := make([]int, len(weights))
+	for i := 0; i < trials; i++ {
+		counts[a.Sample(s)]++
+	}
+	var sum float64
+	for _, w := range weights {
+		sum += w
+	}
+	for i, w := range weights {
+		want := w / sum
+		got := float64(counts[i]) / trials
+		if math.Abs(got-want) > 0.005 {
+			t.Errorf("index %d: frequency %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestAliasSingleton(t *testing.T) {
+	a, err := NewAlias([]float64{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSource(1)
+	for i := 0; i < 100; i++ {
+		if a.Sample(s) != 0 {
+			t.Fatal("singleton alias returned nonzero index")
+		}
+	}
+}
+
+func TestAliasZeroWeightNeverSampled(t *testing.T) {
+	a, err := NewAlias([]float64{1, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSource(2)
+	for i := 0; i < 50000; i++ {
+		if a.Sample(s) == 1 {
+			t.Fatal("zero-weight index was sampled")
+		}
+	}
+}
+
+func TestAliasPropertySamplesInRange(t *testing.T) {
+	s := NewSource(77)
+	check := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		ws := make([]float64, len(raw))
+		var sum float64
+		for i, r := range raw {
+			ws[i] = float64(r)
+			sum += ws[i]
+		}
+		if sum == 0 {
+			ws[0] = 1
+		}
+		a, err := NewAlias(ws)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 100; i++ {
+			v := a.Sample(s)
+			if v < 0 || v >= len(ws) {
+				return false
+			}
+			if ws[v] == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBiasedWeightsBand(t *testing.T) {
+	for _, n := range []int{2, 4, 9, 64} {
+		for _, gamma := range []float64{0, 0.1, 0.25, 0.5} {
+			w, err := BiasedWeights(n, gamma)
+			if err != nil {
+				t.Fatalf("BiasedWeights(%d, %v): %v", n, gamma, err)
+			}
+			var sum float64
+			for _, x := range w {
+				sum += x
+			}
+			for i, x := range w {
+				pi := x / sum
+				ratio := 1 / (float64(n) * pi)
+				if ratio < 1-gamma-1e-9 || ratio > 1+gamma+1e-9 {
+					t.Errorf("n=%d γ=%v bin %d: 1/(nπ)=%v outside [%v,%v]",
+						n, gamma, i, ratio, 1-gamma, 1+gamma)
+				}
+			}
+		}
+	}
+}
+
+func TestBiasedWeightsUniformWhenGammaZero(t *testing.T) {
+	w, err := BiasedWeights(8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(w); i++ {
+		if w[i] != w[0] {
+			t.Fatalf("gamma=0 weights not uniform: %v", w)
+		}
+	}
+}
+
+func TestBiasedWeightsErrors(t *testing.T) {
+	if _, err := BiasedWeights(0, 0.1); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := BiasedWeights(4, -0.1); err == nil {
+		t.Error("negative gamma accepted")
+	}
+	if _, err := BiasedWeights(4, 1); err == nil {
+		t.Error("gamma=1 accepted")
+	}
+}
+
+func BenchmarkAliasSample(b *testing.B) {
+	w, _ := BiasedWeights(256, 0.3)
+	a, _ := NewAlias(w)
+	s := NewSource(1)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += a.Sample(s)
+	}
+	_ = sink
+}

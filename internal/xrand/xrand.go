@@ -1,0 +1,196 @@
+// Package xrand provides the deterministic random-number substrate used by
+// every randomised component in this repository: a seedable xoshiro256++
+// generator, exponential variates (the labels of the paper's exponential
+// process, §4.1), fast bounded integers, distinct-pair sampling (the
+// two-choice rule), and Walker alias tables for biased insertion
+// distributions (the γ-bounded π vectors of §3).
+//
+// The package exists, rather than using math/rand, so that experiments are
+// bit-reproducible across runs from an explicit 64-bit seed and so that hot
+// concurrent paths can own a private Source with zero synchronisation.
+package xrand
+
+import "math"
+
+// Source is a xoshiro256++ pseudo-random generator. It is NOT safe for
+// concurrent use; give each goroutine its own Source (see Sharded).
+//
+// The zero value is invalid; construct with NewSource.
+type Source struct {
+	s0, s1, s2, s3 uint64
+}
+
+// splitmix64 advances the seed-expansion state and returns the next value.
+// It is the recommended initialiser for xoshiro state.
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// NewSource returns a Source seeded deterministically from seed. Distinct
+// seeds yield statistically independent streams.
+func NewSource(seed uint64) *Source {
+	var s Source
+	s.Seed(seed)
+	return &s
+}
+
+// Seed resets the generator to the deterministic state derived from seed.
+func (s *Source) Seed(seed uint64) {
+	x := seed
+	s.s0 = splitmix64(&x)
+	s.s1 = splitmix64(&x)
+	s.s2 = splitmix64(&x)
+	s.s3 = splitmix64(&x)
+	// xoshiro requires a non-zero state; splitmix64 of any seed yields one
+	// with overwhelming probability, but guard anyway.
+	if s.s0|s.s1|s.s2|s.s3 == 0 {
+		s.s0 = 1
+	}
+}
+
+func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+
+// Uint64 returns the next 64 uniformly random bits.
+func (s *Source) Uint64() uint64 {
+	result := rotl(s.s0+s.s3, 23) + s.s0
+	t := s.s1 << 17
+	s.s2 ^= s.s0
+	s.s3 ^= s.s1
+	s.s1 ^= s.s2
+	s.s0 ^= s.s3
+	s.s2 ^= t
+	s.s3 = rotl(s.s3, 45)
+	return result
+}
+
+// Float64 returns a uniform value in [0, 1) with 53 random bits.
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// ExpFloat64 returns an exponentially distributed value with mean 1 (rate 1),
+// via inversion. Scale by the desired mean: mean * ExpFloat64().
+func (s *Source) ExpFloat64() float64 {
+	// 1-Float64() is in (0, 1], so the log is finite.
+	return -math.Log(1 - s.Float64())
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+// It uses Lemire's nearly-divisionless bounded reduction.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with non-positive bound")
+	}
+	bound := uint64(n)
+	for {
+		x := s.Uint64()
+		hi, lo := mul64(x, bound)
+		if lo >= bound || lo >= -bound%bound {
+			return int(hi)
+		}
+	}
+}
+
+// mul64 returns the 128-bit product of x and y as (hi, lo).
+func mul64(x, y uint64) (hi, lo uint64) {
+	const mask32 = 1<<32 - 1
+	x0, x1 := x&mask32, x>>32
+	y0, y1 := y&mask32, y>>32
+	w0 := x0 * y0
+	t := x1*y0 + w0>>32
+	w1 := t&mask32 + x0*y1
+	hi = x1*y1 + t>>32 + w1>>32
+	lo = x * y
+	return hi, lo
+}
+
+// TwoDistinct returns two distinct uniform indices in [0, n).
+// It panics if n < 2.
+func (s *Source) TwoDistinct(n int) (int, int) {
+	if n < 2 {
+		panic("xrand: TwoDistinct needs n >= 2")
+	}
+	i := s.Intn(n)
+	j := s.Intn(n - 1)
+	if j >= i {
+		j++
+	}
+	return i, j
+}
+
+// KDistinct fills dst with len(dst) distinct uniform indices in [0, n),
+// for the d-choice generalisation of the removal rule. It panics if
+// len(dst) > n. Sampling is by rejection, which is near-optimal for the
+// small d used in choice processes.
+func (s *Source) KDistinct(dst []int, n int) {
+	k := len(dst)
+	if k > n {
+		panic("xrand: KDistinct with k > n")
+	}
+	for i := 0; i < k; i++ {
+	draw:
+		v := s.Intn(n)
+		for j := 0; j < i; j++ {
+			if dst[j] == v {
+				goto draw
+			}
+		}
+		dst[i] = v
+	}
+}
+
+// Bernoulli returns true with probability p.
+func (s *Source) Bernoulli(p float64) bool {
+	switch {
+	case p <= 0:
+		return false
+	case p >= 1:
+		return true
+	}
+	return s.Float64() < p
+}
+
+// Perm returns a uniformly random permutation of [0, n) (Fisher–Yates).
+func (s *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle permutes xs uniformly at random in place.
+func Shuffle[T any](s *Source, xs []T) {
+	for i := len(xs) - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		xs[i], xs[j] = xs[j], xs[i]
+	}
+}
+
+// Sharded hands out independent Sources derived from a master seed, one per
+// worker. It is used to give each goroutine in a benchmark or concurrent
+// data structure its own private generator.
+type Sharded struct {
+	seed uint64
+}
+
+// NewSharded returns a Sharded stream family rooted at seed.
+func NewSharded(seed uint64) *Sharded {
+	return &Sharded{seed: seed}
+}
+
+// Source returns the Source for shard i. The same (seed, i) pair always
+// yields the same stream.
+func (sh *Sharded) Source(i int) *Source {
+	// Mix the shard index through splitmix so adjacent shards decorrelate.
+	x := sh.seed ^ (0x9e3779b97f4a7c15 * (uint64(i) + 1))
+	return NewSource(splitmix64(&x))
+}

@@ -1,0 +1,346 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := NewSource(42)
+	b := NewSource(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestDistinctSeedsDiffer(t *testing.T) {
+	a := NewSource(1)
+	b := NewSource(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 1 {
+		t.Fatalf("seeds 1 and 2 produced %d identical values out of 64", same)
+	}
+}
+
+func TestSeedResets(t *testing.T) {
+	s := NewSource(7)
+	first := make([]uint64, 16)
+	for i := range first {
+		first[i] = s.Uint64()
+	}
+	s.Seed(7)
+	for i := range first {
+		if got := s.Uint64(); got != first[i] {
+			t.Fatalf("after reseed, step %d: got %d want %d", i, got, first[i])
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := NewSource(3)
+	for i := 0; i < 100000; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestFloat64Moments(t *testing.T) {
+	s := NewSource(11)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		f := s.Float64()
+		sum += f
+		sumSq += f * f
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("mean = %v, want ~0.5", mean)
+	}
+	if math.Abs(variance-1.0/12) > 0.01 {
+		t.Errorf("variance = %v, want ~%v", variance, 1.0/12)
+	}
+}
+
+func TestExpFloat64Mean(t *testing.T) {
+	s := NewSource(13)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		v := s.ExpFloat64()
+		if v < 0 {
+			t.Fatalf("negative exponential variate %v", v)
+		}
+		sum += v
+	}
+	mean := sum / n
+	if math.Abs(mean-1) > 0.02 {
+		t.Errorf("exponential mean = %v, want ~1", mean)
+	}
+}
+
+func TestExpFloat64Memorylessness(t *testing.T) {
+	// P[X > 1] should be about e^-1, and P[X > 2 | X > 1] likewise.
+	s := NewSource(17)
+	const n = 300000
+	gt1, gt2 := 0, 0
+	for i := 0; i < n; i++ {
+		v := s.ExpFloat64()
+		if v > 1 {
+			gt1++
+			if v > 2 {
+				gt2++
+			}
+		}
+	}
+	p1 := float64(gt1) / n
+	pCond := float64(gt2) / float64(gt1)
+	if math.Abs(p1-math.Exp(-1)) > 0.01 {
+		t.Errorf("P[X>1] = %v, want ~%v", p1, math.Exp(-1))
+	}
+	if math.Abs(pCond-math.Exp(-1)) > 0.02 {
+		t.Errorf("P[X>2|X>1] = %v, want ~%v", pCond, math.Exp(-1))
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	s := NewSource(19)
+	for _, n := range []int{1, 2, 3, 7, 100, 1 << 20} {
+		for i := 0; i < 2000; i++ {
+			v := s.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewSource(1).Intn(0)
+}
+
+func TestIntnUniform(t *testing.T) {
+	s := NewSource(23)
+	const n, trials = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		counts[s.Intn(n)]++
+	}
+	want := float64(trials) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("bucket %d: count %d too far from %v", i, c, want)
+		}
+	}
+}
+
+func TestTwoDistinct(t *testing.T) {
+	s := NewSource(29)
+	for _, n := range []int{2, 3, 8, 100} {
+		for trial := 0; trial < 5000; trial++ {
+			i, j := s.TwoDistinct(n)
+			if i == j {
+				t.Fatalf("TwoDistinct(%d) returned equal indices %d", n, i)
+			}
+			if i < 0 || i >= n || j < 0 || j >= n {
+				t.Fatalf("TwoDistinct(%d) out of range: (%d, %d)", n, i, j)
+			}
+		}
+	}
+}
+
+func TestTwoDistinctUniformPairs(t *testing.T) {
+	// Each unordered pair {i,j} from n=4 should appear with equal frequency.
+	s := NewSource(31)
+	const n, trials = 4, 120000
+	counts := map[[2]int]int{}
+	for trial := 0; trial < trials; trial++ {
+		i, j := s.TwoDistinct(n)
+		if i > j {
+			i, j = j, i
+		}
+		counts[[2]int{i, j}]++
+	}
+	pairs := n * (n - 1) / 2
+	want := float64(trials) / float64(pairs)
+	for p, c := range counts {
+		if math.Abs(float64(c)-want) > 6*math.Sqrt(want) {
+			t.Errorf("pair %v: count %d too far from %v", p, c, want)
+		}
+	}
+	if len(counts) != pairs {
+		t.Errorf("saw %d distinct pairs, want %d", len(counts), pairs)
+	}
+}
+
+func TestKDistinct(t *testing.T) {
+	s := NewSource(53)
+	for _, n := range []int{1, 2, 5, 16} {
+		for k := 0; k <= n; k++ {
+			dst := make([]int, k)
+			s.KDistinct(dst, n)
+			seen := map[int]bool{}
+			for _, v := range dst {
+				if v < 0 || v >= n {
+					t.Fatalf("KDistinct(%d,%d) produced %d", k, n, v)
+				}
+				if seen[v] {
+					t.Fatalf("KDistinct(%d,%d) repeated %d", k, n, v)
+				}
+				seen[v] = true
+			}
+		}
+	}
+}
+
+func TestKDistinctPanicsWhenKExceedsN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("KDistinct with k > n did not panic")
+		}
+	}()
+	NewSource(1).KDistinct(make([]int, 3), 2)
+}
+
+func TestKDistinctUniformMargins(t *testing.T) {
+	// Each index should appear in the sample with probability k/n.
+	s := NewSource(59)
+	const n, k, trials = 8, 3, 80000
+	counts := make([]int, n)
+	dst := make([]int, k)
+	for i := 0; i < trials; i++ {
+		s.KDistinct(dst, n)
+		for _, v := range dst {
+			counts[v]++
+		}
+	}
+	want := float64(trials) * k / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 6*math.Sqrt(want) {
+			t.Errorf("index %d appeared %d times, want ≈ %v", i, c, want)
+		}
+	}
+}
+
+func TestBernoulli(t *testing.T) {
+	s := NewSource(37)
+	if s.Bernoulli(0) {
+		t.Error("Bernoulli(0) returned true")
+	}
+	if !s.Bernoulli(1) {
+		t.Error("Bernoulli(1) returned false")
+	}
+	const trials = 100000
+	hits := 0
+	for i := 0; i < trials; i++ {
+		if s.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	p := float64(hits) / trials
+	if math.Abs(p-0.3) > 0.01 {
+		t.Errorf("Bernoulli(0.3) frequency = %v", p)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := NewSource(41)
+	check := func(n uint8) bool {
+		m := int(n%32) + 1
+		p := s.Perm(m)
+		seen := make([]bool, m)
+		for _, v := range p {
+			if v < 0 || v >= m || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShuffle(t *testing.T) {
+	s := NewSource(43)
+	xs := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	sum := 0
+	for _, x := range xs {
+		sum += x
+	}
+	Shuffle(s, xs)
+	got := 0
+	for _, x := range xs {
+		got += x
+	}
+	if got != sum {
+		t.Errorf("shuffle changed multiset: sum %d -> %d", sum, got)
+	}
+}
+
+func TestShardedIndependence(t *testing.T) {
+	sh := NewSharded(99)
+	a := sh.Source(0)
+	b := sh.Source(1)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 1 {
+		t.Fatalf("shards 0 and 1 produced %d identical values", same)
+	}
+	// Reproducibility of a shard.
+	c := NewSharded(99).Source(0)
+	d := NewSharded(99).Source(0)
+	for i := 0; i < 64; i++ {
+		if c.Uint64() != d.Uint64() {
+			t.Fatal("shard stream not reproducible")
+		}
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	s := NewSource(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += s.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkIntn(b *testing.B) {
+	s := NewSource(1)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += s.Intn(1000)
+	}
+	_ = sink
+}
+
+func BenchmarkExpFloat64(b *testing.B) {
+	s := NewSource(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += s.ExpFloat64()
+	}
+	_ = sink
+}

@@ -1,0 +1,115 @@
+// Package powerchoice is a Go implementation of the relaxed concurrent
+// priority queue from "The Power of Choice in Priority Scheduling"
+// (Alistarh, Kopinsky, Li, Nadiradze — PODC 2017): the (1+β) MultiQueue.
+//
+// A MultiQueue spreads elements over n = c·P sequential heaps, each behind a
+// try-lock. DeleteMin flips a β-biased coin: with probability β it samples
+// two random queues and pops from the one with the smaller cached top, and
+// with probability 1−β it pops from a single random queue. The paper proves
+// that the rank of the removed element — its position among all present
+// elements — stays O(n/β²) in expectation and O(n·log n/β) in the worst
+// case, at every point in time, and shows the β < 1 variants beat the
+// original MultiQueue by up to 20% in throughput.
+//
+// This package is a thin facade over internal/core for downstream use;
+// the repository's experiments and benchmarks exercise the internals
+// directly. See README.md for the repository tour and EXPERIMENTS.md for
+// the reproduction of the paper's figures.
+package powerchoice
+
+import (
+	"powerchoice/internal/core"
+	"powerchoice/internal/pqueue"
+)
+
+// MultiQueue is a relaxed concurrent priority queue over uint64 keys
+// (smaller key = higher priority) carrying values of type V. All methods
+// are safe for concurrent use; hot paths should use per-goroutine handles
+// (see NewHandle).
+type MultiQueue[V any] struct {
+	inner *core.MultiQueue[V]
+}
+
+// Option configures a MultiQueue.
+type Option = core.Option
+
+// Re-exported options. See the corresponding internal/core documentation.
+var (
+	// WithQueues sets the internal queue count explicitly.
+	WithQueues = core.WithQueues
+	// WithQueueFactor sets queues = factor × GOMAXPROCS (default 2).
+	WithQueueFactor = core.WithQueueFactor
+	// WithBeta sets the two-choice probability β (default 1).
+	WithBeta = core.WithBeta
+	// WithChoices sets d, the queues sampled per choice-deletion
+	// (default 2 — the paper's rule; d = queue count is exact).
+	WithChoices = core.WithChoices
+	// WithStickiness makes handles reuse sampled queues for up to s
+	// consecutive operations (default 1 = fully random).
+	WithStickiness = core.WithStickiness
+	// WithSeed fixes the random seed.
+	WithSeed = core.WithSeed
+	// WithAtomic enables the distributionally linearizable mode.
+	WithAtomic = core.WithAtomic
+)
+
+// HeapKind selects the sequential heap backing each internal queue.
+type HeapKind = pqueue.Kind
+
+// Available heap kinds.
+const (
+	HeapBinary  HeapKind = pqueue.KindBinary
+	HeapDAry    HeapKind = pqueue.KindDAry
+	HeapPairing HeapKind = pqueue.KindPairing
+	HeapSkip    HeapKind = pqueue.KindSkip
+)
+
+// WithHeap selects the per-queue heap implementation (default 4-ary).
+func WithHeap(kind HeapKind) Option { return core.WithHeap(kind) }
+
+// New constructs a MultiQueue.
+func New[V any](opts ...Option) (*MultiQueue[V], error) {
+	inner, err := core.New[V](opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &MultiQueue[V]{inner: inner}, nil
+}
+
+// Insert adds an element.
+func (q *MultiQueue[V]) Insert(key uint64, value V) { q.inner.Insert(key, value) }
+
+// DeleteMin removes an element of relaxed minimum priority. It returns
+// ok=false only when the queue is empty.
+func (q *MultiQueue[V]) DeleteMin() (key uint64, value V, ok bool) {
+	return q.inner.DeleteMin()
+}
+
+// Len returns the number of stored elements, counting in-flight inserts.
+func (q *MultiQueue[V]) Len() int { return q.inner.Len() }
+
+// NumQueues returns the internal queue count n.
+func (q *MultiQueue[V]) NumQueues() int { return q.inner.NumQueues() }
+
+// Beta returns the configured two-choice probability.
+func (q *MultiQueue[V]) Beta() float64 { return q.inner.Beta() }
+
+// Handle is a per-goroutine accessor with a private random stream; use one
+// Handle per worker goroutine on hot paths.
+type Handle[V any] struct {
+	inner *core.Handle[V]
+}
+
+// NewHandle returns a dedicated handle for the calling goroutine.
+func (q *MultiQueue[V]) NewHandle() *Handle[V] {
+	return &Handle[V]{inner: q.inner.Handle()}
+}
+
+// Insert adds an element through the handle.
+func (h *Handle[V]) Insert(key uint64, value V) { h.inner.Insert(key, value) }
+
+// DeleteMin removes an element of relaxed minimum priority through the
+// handle.
+func (h *Handle[V]) DeleteMin() (key uint64, value V, ok bool) {
+	return h.inner.DeleteMin()
+}
