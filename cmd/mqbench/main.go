@@ -1,120 +1,20 @@
-// Command mqbench regenerates Figure 1 of the paper: throughput of the
-// (1+β) MultiQueue variants against the original MultiQueue, the
-// Lindén–Jonsson skiplist, the k-LSM, and a global-lock heap, swept over
-// thread counts on an alternating insert/deleteMin workload.
-//
-// Usage:
-//
-//	mqbench [-duration 2s] [-prefill 1000000] [-threads 1,2,4,8] [-csv]
+// Command mqbench is a legacy wrapper over `powerbench throughput`
+// (Figure 1: throughput of the line-up over a thread sweep). It accepts the
+// same flags as the subcommand; prefer invoking powerbench directly.
 package main
 
 import (
-	"flag"
 	"fmt"
 	"os"
-	"runtime"
-	"strconv"
-	"strings"
-	"time"
 
-	"powerchoice/internal/bench"
-	"powerchoice/internal/pqadapt"
+	"powerchoice/internal/bench/driver"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	fmt.Fprintln(os.Stderr, "mqbench: note: forwarding to `powerbench throughput`")
+	args := append([]string{"throughput"}, os.Args[1:]...)
+	if err := driver.Main(args, os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "mqbench:", err)
 		os.Exit(1)
 	}
-}
-
-func run(args []string) error {
-	fs := flag.NewFlagSet("mqbench", flag.ContinueOnError)
-	duration := fs.Duration("duration", 2*time.Second, "measurement time per configuration")
-	prefill := fs.Int("prefill", 1_000_000, "elements inserted before timing (paper: 10M)")
-	threadsFlag := fs.String("threads", defaultThreads(), "comma-separated thread counts")
-	implsFlag := fs.String("impls", allImpls(), "comma-separated implementations")
-	seed := fs.Uint64("seed", 42, "root random seed")
-	reps := fs.Int("reps", 3, "repetitions per configuration (best run reported)")
-	csv := fs.Bool("csv", false, "emit CSV instead of an aligned table")
-	if err := fs.Parse(args); err != nil {
-		return err
-	}
-	threads, err := parseInts(*threadsFlag)
-	if err != nil {
-		return err
-	}
-	tb := bench.NewTable("impl", "threads", "mops", "ops")
-	for _, impl := range strings.Split(*implsFlag, ",") {
-		impl = strings.TrimSpace(impl)
-		if impl == "" {
-			continue
-		}
-		for _, th := range threads {
-			var res bench.ThroughputResult
-			for r := 0; r < max(*reps, 1); r++ {
-				one, err := bench.Throughput(bench.ThroughputSpec{
-					Impl:     pqadapt.Impl(impl),
-					Threads:  th,
-					Duration: *duration,
-					Prefill:  *prefill,
-					Seed:     *seed + uint64(r),
-				})
-				if err != nil {
-					return err
-				}
-				if one.MOps > res.MOps {
-					res = one
-				}
-			}
-			tb.AddRow(impl, th, res.MOps, res.Ops)
-			fmt.Fprintf(os.Stderr, "done: %-12s threads=%-3d %.3f Mops/s\n", impl, th, res.MOps)
-		}
-	}
-	emit(tb, *csv)
-	return nil
-}
-
-func defaultThreads() string {
-	max := runtime.GOMAXPROCS(0)
-	var parts []string
-	for t := 1; t <= max; t *= 2 {
-		parts = append(parts, strconv.Itoa(t))
-	}
-	return strings.Join(parts, ",")
-}
-
-func allImpls() string {
-	var parts []string
-	for _, i := range pqadapt.Impls() {
-		parts = append(parts, string(i))
-	}
-	return strings.Join(parts, ",")
-}
-
-func parseInts(s string) ([]int, error) {
-	var out []int
-	for _, p := range strings.Split(s, ",") {
-		p = strings.TrimSpace(p)
-		if p == "" {
-			continue
-		}
-		v, err := strconv.Atoi(p)
-		if err != nil {
-			return nil, fmt.Errorf("bad integer %q: %w", p, err)
-		}
-		out = append(out, v)
-	}
-	if len(out) == 0 {
-		return nil, fmt.Errorf("no values in %q", s)
-	}
-	return out, nil
-}
-
-func emit(tb *bench.Table, csv bool) {
-	if csv {
-		fmt.Print(tb.CSV())
-		return
-	}
-	fmt.Print(tb.String())
 }

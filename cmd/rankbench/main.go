@@ -1,147 +1,35 @@
-// Command rankbench regenerates Figure 2 of the paper: the mean rank of
-// removed elements for the (1+β) MultiQueue, swept over β at a fixed queue
-// and thread count (the paper uses 8 queues and 8 threads; the y axis is
-// logarithmic, so ratios are what matters).
+// Command rankbench is a legacy wrapper over powerbench's rank-quality
+// subcommands. Its historical interface folded two experiments into one
+// binary, so the wrapper dispatches on the flags given:
 //
-// Usage:
+//   - with -impls (named implementations) it forwards to `powerbench rank`;
+//   - otherwise it forwards to `powerbench sweep` (Figure 2's β sweep; the
+//     legacy -betas flag is understood by the subcommand).
 //
-//	rankbench [-queues 8] [-threads 8] [-betas 0,0.125,...,1] [-csv]
+// Prefer invoking powerbench directly.
 package main
 
 import (
-	"flag"
 	"fmt"
 	"os"
-	"sort"
-	"strconv"
 	"strings"
 
-	"powerchoice/internal/bench"
-	"powerchoice/internal/pqadapt"
+	"powerchoice/internal/bench/driver"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	sub := "sweep"
+	for _, a := range os.Args[1:] {
+		if a == "-impls" || a == "--impls" ||
+			strings.HasPrefix(a, "-impls=") || strings.HasPrefix(a, "--impls=") {
+			sub = "rank"
+			break
+		}
+	}
+	fmt.Fprintf(os.Stderr, "rankbench: note: forwarding to `powerbench %s`\n", sub)
+	args := append([]string{sub}, os.Args[1:]...)
+	if err := driver.Main(args, os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "rankbench:", err)
 		os.Exit(1)
 	}
-}
-
-func run(args []string) error {
-	fs := flag.NewFlagSet("rankbench", flag.ContinueOnError)
-	queues := fs.Int("queues", 8, "number of internal queues (paper: 8)")
-	threads := fs.Int("threads", 8, "concurrent worker count (paper: 8)")
-	betasFlag := fs.String("betas", "0,0.125,0.25,0.375,0.5,0.625,0.75,0.875,1", "comma-separated β values")
-	prefill := fs.Int("prefill", 1<<18, "initially inserted labels")
-	ops := fs.Int("ops", 1<<15, "delete+insert pairs per thread")
-	seed := fs.Uint64("seed", 42, "root random seed")
-	csv := fs.Bool("csv", false, "emit CSV instead of an aligned table")
-	hist := fs.Bool("hist", false, "also print a rank histogram per β")
-	implsFlag := fs.String("impls", "", "measure named implementations (e.g. skiplist,klsm256) instead of the β sweep")
-	reps := fs.Int("reps", 3, "repetitions per configuration; the median-by-mean run is reported")
-	if err := fs.Parse(args); err != nil {
-		return err
-	}
-	if *implsFlag != "" {
-		return runImpls(*implsFlag, *threads, *prefill, *ops, *seed, *reps, *csv)
-	}
-	betas, err := parseFloats(*betasFlag)
-	if err != nil {
-		return err
-	}
-	tb := bench.NewTable("beta", "mean_rank", "p50", "p99", "max", "removals")
-	for _, beta := range betas {
-		res, err := medianRun(bench.RankSpec{
-			Beta:         beta,
-			Queues:       *queues,
-			Threads:      *threads,
-			Prefill:      *prefill,
-			OpsPerThread: *ops,
-			Seed:         *seed,
-		}, *reps)
-		if err != nil {
-			return err
-		}
-		tb.AddRow(beta, res.Mean, res.P50, res.P99, res.Max, res.Removals)
-		fmt.Fprintf(os.Stderr, "done: β=%-6v mean rank %.2f\n", beta, res.Mean)
-		if *hist {
-			fmt.Fprintf(os.Stderr, "rank histogram for β=%v:\n%s\n", beta, res.Hist)
-		}
-	}
-	if *csv {
-		fmt.Print(tb.CSV())
-	} else {
-		fmt.Print(tb.String())
-	}
-	return nil
-}
-
-// runImpls measures the rank quality of named line-up implementations —
-// the quality counterpart of Figure 1's throughput column.
-func runImpls(impls string, threads, prefill, ops int, seed uint64, reps int, csv bool) error {
-	tb := bench.NewTable("impl", "mean_rank", "p50", "p99", "max", "removals")
-	for _, impl := range strings.Split(impls, ",") {
-		impl = strings.TrimSpace(impl)
-		if impl == "" {
-			continue
-		}
-		res, err := medianRun(bench.RankSpec{
-			Impl:         pqadapt.Impl(impl),
-			Threads:      threads,
-			Prefill:      prefill,
-			OpsPerThread: ops,
-			Seed:         seed,
-		}, reps)
-		if err != nil {
-			return err
-		}
-		tb.AddRow(impl, res.Mean, res.P50, res.P99, res.Max, res.Removals)
-		fmt.Fprintf(os.Stderr, "done: %-12s mean rank %.2f\n", impl, res.Mean)
-	}
-	if csv {
-		fmt.Print(tb.CSV())
-	} else {
-		fmt.Print(tb.String())
-	}
-	return nil
-}
-
-// medianRun repeats a measurement and returns the median run by mean rank,
-// suppressing one-off scheduler-stall bursts (this environment has no
-// thread pinning; see EXPERIMENTS.md).
-func medianRun(spec bench.RankSpec, reps int) (bench.RankResult, error) {
-	if reps < 1 {
-		reps = 1
-	}
-	results := make([]bench.RankResult, 0, reps)
-	for r := 0; r < reps; r++ {
-		s := spec
-		s.Seed += uint64(r)
-		res, err := bench.RankQuality(s)
-		if err != nil {
-			return bench.RankResult{}, err
-		}
-		results = append(results, res)
-	}
-	sort.Slice(results, func(i, j int) bool { return results[i].Mean < results[j].Mean })
-	return results[len(results)/2], nil
-}
-
-func parseFloats(s string) ([]float64, error) {
-	var out []float64
-	for _, p := range strings.Split(s, ",") {
-		p = strings.TrimSpace(p)
-		if p == "" {
-			continue
-		}
-		v, err := strconv.ParseFloat(p, 64)
-		if err != nil {
-			return nil, fmt.Errorf("bad float %q: %w", p, err)
-		}
-		out = append(out, v)
-	}
-	if len(out) == 0 {
-		return nil, fmt.Errorf("no values in %q", s)
-	}
-	return out, nil
 }

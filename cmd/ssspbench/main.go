@@ -1,138 +1,20 @@
-// Command ssspbench regenerates Figure 3 of the paper: running time of a
-// parallel single-source shortest-path computation using the (1+β)
-// MultiQueue variants, the Lindén–Jonsson skiplist, the k-LSM and a
-// global-lock heap. The paper's California road network is replaced by a
-// synthetic road-network surrogate (see DESIGN.md, substitutions).
-//
-// Usage:
-//
-//	ssspbench [-grid 300] [-threads 1,2,4] [-reps 3] [-verify] [-csv]
+// Command ssspbench is a legacy wrapper over `powerbench sssp` (Figure 3:
+// parallel single-source shortest-path timing over the line-up). It accepts
+// the same flags as the subcommand; prefer invoking powerbench directly.
 package main
 
 import (
-	"flag"
 	"fmt"
 	"os"
-	"runtime"
-	"strconv"
-	"strings"
-	"time"
 
-	"powerchoice/internal/bench"
-	"powerchoice/internal/graph"
-	"powerchoice/internal/pqadapt"
+	"powerchoice/internal/bench/driver"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	fmt.Fprintln(os.Stderr, "ssspbench: note: forwarding to `powerbench sssp`")
+	args := append([]string{"sssp"}, os.Args[1:]...)
+	if err := driver.Main(args, os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "ssspbench:", err)
 		os.Exit(1)
 	}
-}
-
-func run(args []string) error {
-	fs := flag.NewFlagSet("ssspbench", flag.ContinueOnError)
-	grid := fs.Int("grid", 300, "road network is grid x grid intersections")
-	diag := fs.Float64("diag", 0.15, "fraction of diagonal shortcuts")
-	threadsFlag := fs.String("threads", defaultThreads(), "comma-separated thread counts")
-	implsFlag := fs.String("impls", allImpls(), "comma-separated implementations")
-	reps := fs.Int("reps", 3, "repetitions per configuration (best time reported)")
-	seed := fs.Uint64("seed", 42, "root random seed")
-	verify := fs.Bool("verify", false, "verify distances against sequential Dijkstra")
-	csv := fs.Bool("csv", false, "emit CSV instead of an aligned table")
-	if err := fs.Parse(args); err != nil {
-		return err
-	}
-	g, err := graph.RoadNetwork(*grid, *grid, *diag, *seed)
-	if err != nil {
-		return err
-	}
-	fmt.Fprintf(os.Stderr, "road network: %d nodes, %d edges\n", g.NumNodes(), g.NumEdges())
-	threads, err := parseInts(*threadsFlag)
-	if err != nil {
-		return err
-	}
-	// Sequential Dijkstra reference time.
-	seqStart := time.Now()
-	if _, err := graph.Dijkstra(g, 0); err != nil {
-		return err
-	}
-	seqTime := time.Since(seqStart)
-	fmt.Fprintf(os.Stderr, "sequential Dijkstra: %v\n", seqTime)
-
-	tb := bench.NewTable("impl", "threads", "ms", "speedup_vs_seq", "wasted_pops")
-	for _, impl := range strings.Split(*implsFlag, ",") {
-		impl = strings.TrimSpace(impl)
-		if impl == "" {
-			continue
-		}
-		for _, th := range threads {
-			best := time.Duration(0)
-			var stats graph.SSSPStats
-			for r := 0; r < *reps; r++ {
-				res, err := bench.SSSP(bench.SSSPSpec{
-					Impl:    pqadapt.Impl(impl),
-					G:       g,
-					Source:  0,
-					Threads: th,
-					Seed:    *seed + uint64(r),
-					Verify:  *verify,
-				})
-				if err != nil {
-					return err
-				}
-				if best == 0 || res.Elapsed < best {
-					best = res.Elapsed
-					stats = res.Stats
-				}
-			}
-			tb.AddRow(impl, th,
-				float64(best.Microseconds())/1000,
-				seqTime.Seconds()/best.Seconds(),
-				stats.WastedPops)
-			fmt.Fprintf(os.Stderr, "done: %-12s threads=%-3d %v\n", impl, th, best)
-		}
-	}
-	if *csv {
-		fmt.Print(tb.CSV())
-	} else {
-		fmt.Print(tb.String())
-	}
-	return nil
-}
-
-func defaultThreads() string {
-	max := runtime.GOMAXPROCS(0)
-	var parts []string
-	for t := 1; t <= max; t *= 2 {
-		parts = append(parts, strconv.Itoa(t))
-	}
-	return strings.Join(parts, ",")
-}
-
-func allImpls() string {
-	var parts []string
-	for _, i := range pqadapt.Impls() {
-		parts = append(parts, string(i))
-	}
-	return strings.Join(parts, ",")
-}
-
-func parseInts(s string) ([]int, error) {
-	var out []int
-	for _, p := range strings.Split(s, ",") {
-		p = strings.TrimSpace(p)
-		if p == "" {
-			continue
-		}
-		v, err := strconv.Atoi(p)
-		if err != nil {
-			return nil, fmt.Errorf("bad integer %q: %w", p, err)
-		}
-		out = append(out, v)
-	}
-	if len(out) == 0 {
-		return nil, fmt.Errorf("no values in %q", s)
-	}
-	return out, nil
 }

@@ -1,0 +1,3 @@
+module powerchoice
+
+go 1.24

@@ -1,0 +1,219 @@
+package driver
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+
+	"powerchoice/internal/bench"
+	"powerchoice/internal/pqadapt"
+)
+
+// shortRankArgs keeps rank runs -test.short friendly and, with one thread,
+// deterministic under a fixed seed.
+func shortRankArgs(extra ...string) []string {
+	base := []string{
+		"-threads", "1", "-prefill", "2048", "-ops", "256",
+		"-reps", "1", "-seed", "7",
+	}
+	return append(base, extra...)
+}
+
+func runMain(t *testing.T, args ...string) (stdout, stderr string) {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	if err := Main(args, &out, &errBuf); err != nil {
+		t.Fatalf("powerbench %s: %v\nstderr:\n%s", strings.Join(args, " "), err, errBuf.String())
+	}
+	return out.String(), errBuf.String()
+}
+
+func TestMainDispatch(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := Main(nil, &out, &errBuf); err == nil {
+		t.Error("no subcommand accepted")
+	}
+	if err := Main([]string{"bogus"}, &out, &errBuf); err == nil {
+		t.Error("unknown subcommand accepted")
+	}
+	out.Reset()
+	if err := Main([]string{"help"}, &out, &errBuf); err != nil {
+		t.Errorf("help: %v", err)
+	}
+	if !strings.Contains(out.String(), "powerbench") {
+		t.Error("help printed no usage")
+	}
+}
+
+func TestRankJSONReportsResolvedTopology(t *testing.T) {
+	stdout, _ := runMain(t, append([]string{"rank"}, shortRankArgs("-impl", "multiqueue", "-json")...)...)
+	var rep bench.Report
+	if err := json.Unmarshal([]byte(stdout), &rep); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, stdout)
+	}
+	if rep.Command != "rank" || rep.Seed != 7 {
+		t.Errorf("report header: %+v", rep)
+	}
+	if rep.Host.GOMAXPROCS != runtime.GOMAXPROCS(0) || rep.Host.GoVersion == "" {
+		t.Errorf("host metadata missing: %+v", rep.Host)
+	}
+	if len(rep.Rows) != 1 {
+		t.Fatalf("rows = %d, want 1", len(rep.Rows))
+	}
+	row := rep.Rows[0]
+	// The MultiQueue leg must resolve to the paper's pinned topology — with
+	// genuine relaxation — regardless of the host's core count.
+	if row.Impl != "multiqueue" || row.Queues != pqadapt.PaperQueues || row.Choices != 2 {
+		t.Errorf("resolved topology: %+v", row)
+	}
+	if row.Beta == nil || *row.Beta != 1 {
+		t.Errorf("beta missing: %+v", row)
+	}
+	if row.MeanRank < 1 || row.Removals == 0 {
+		t.Errorf("summary numbers missing: %+v", row)
+	}
+}
+
+func TestRankJSONDeterministicUnderFixedSeed(t *testing.T) {
+	args := append([]string{"rank"}, shortRankArgs("-impl", "multiqueue", "-json")...)
+	first, _ := runMain(t, args...)
+	second, _ := runMain(t, args...)
+	if first != second {
+		t.Errorf("single-threaded rank not deterministic under fixed seed:\n%s\nvs:\n%s", first, second)
+	}
+}
+
+// TestRankTableMatchesJSON: the -out file carries the same summary numbers
+// as the table printed in the same invocation (acceptance criterion: JSON
+// and legacy table output agree for the same seed).
+func TestRankTableMatchesJSON(t *testing.T) {
+	outFile := filepath.Join(t.TempDir(), "rank.json")
+	stdout, _ := runMain(t, append([]string{"rank"},
+		shortRankArgs("-impl", "multiqueue", "-out", outFile)...)...)
+	b, err := os.ReadFile(outFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep bench.Report
+	if err := json.Unmarshal(b, &rep); err != nil {
+		t.Fatalf("invalid JSON in -out file: %v", err)
+	}
+	if len(rep.Rows) != 1 {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+	lines := strings.Split(strings.TrimSpace(stdout), "\n")
+	if len(lines) != 3 { // header, separator, one data row
+		t.Fatalf("table:\n%s", stdout)
+	}
+	fields := strings.Fields(lines[2])
+	if len(fields) != 6 {
+		t.Fatalf("table row: %q", lines[2])
+	}
+	row := rep.Rows[0]
+	want := []string{
+		"multiqueue",
+		fmt.Sprintf("%.3f", row.MeanRank),
+		fmt.Sprintf("%.3f", row.P50),
+		fmt.Sprintf("%.3f", row.P99),
+		fmt.Sprintf("%.3f", row.MaxRank),
+		fmt.Sprintf("%d", row.Removals),
+	}
+	if !reflect.DeepEqual(fields, want) {
+		t.Errorf("table row %v disagrees with JSON %v", fields, want)
+	}
+}
+
+func TestSweepJSONCarriesBetaZero(t *testing.T) {
+	stdout, _ := runMain(t, append([]string{"sweep"},
+		shortRankArgs("-beta", "0,0.5", "-json")...)...)
+	var rep bench.Report
+	if err := json.Unmarshal([]byte(stdout), &rep); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, stdout)
+	}
+	if rep.Command != "sweep" || len(rep.Rows) != 2 {
+		t.Fatalf("report: %+v", rep)
+	}
+	for i, wantBeta := range []float64{0, 0.5} {
+		row := rep.Rows[i]
+		if row.Beta == nil || *row.Beta != wantBeta {
+			t.Errorf("row %d beta = %v, want %v", i, row.Beta, wantBeta)
+		}
+		if row.Queues != 8 || row.Choices != 2 {
+			t.Errorf("row %d topology: %+v", i, row)
+		}
+	}
+}
+
+func TestSweepLegacyBetasAlias(t *testing.T) {
+	stdout, _ := runMain(t, append([]string{"sweep"},
+		shortRankArgs("-betas", "1", "-json")...)...)
+	var rep bench.Report
+	if err := json.Unmarshal([]byte(stdout), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 1 || rep.Rows[0].Beta == nil || *rep.Rows[0].Beta != 1 {
+		t.Errorf("legacy -betas alias broken: %+v", rep.Rows)
+	}
+}
+
+func TestThroughputJSON(t *testing.T) {
+	stdout, _ := runMain(t, "throughput",
+		"-impls", "multiqueue", "-threads", "1", "-duration", "10ms",
+		"-prefill", "1024", "-reps", "1", "-seed", "3", "-json")
+	var rep bench.Report
+	if err := json.Unmarshal([]byte(stdout), &rep); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, stdout)
+	}
+	if rep.Command != "throughput" || len(rep.Rows) != 1 {
+		t.Fatalf("report: %+v", rep)
+	}
+	row := rep.Rows[0]
+	if row.MOps <= 0 || row.Ops <= 0 || row.Threads != 1 {
+		t.Errorf("throughput row: %+v", row)
+	}
+	// Derived topology: floored, never degenerate, reported.
+	if row.Queues < 4 || row.Choices >= row.Queues {
+		t.Errorf("derived topology degenerate or missing: %+v", row)
+	}
+}
+
+func TestSSSPJSONAndCSV(t *testing.T) {
+	args := []string{"sssp",
+		"-impls", "onebeta75", "-threads", "1", "-grid", "20",
+		"-reps", "1", "-seed", "4", "-verify"}
+	stdout, _ := runMain(t, append(args, "-json")...)
+	var rep bench.Report
+	if err := json.Unmarshal([]byte(stdout), &rep); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, stdout)
+	}
+	if rep.Command != "sssp" || len(rep.Rows) != 1 {
+		t.Fatalf("report: %+v", rep)
+	}
+	if row := rep.Rows[0]; row.Millis <= 0 || row.Speedup <= 0 || row.Queues < 4 {
+		t.Errorf("sssp row: %+v", row)
+	}
+	csvOut, _ := runMain(t, append(args, "-csv")...)
+	if !strings.HasPrefix(csvOut, "impl,threads,ms,speedup_vs_seq,wasted_pops\n") {
+		t.Errorf("csv header:\n%s", csvOut)
+	}
+}
+
+func TestRankDefaultsToFullLineup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the whole line-up")
+	}
+	stdout, _ := runMain(t, append([]string{"rank"}, shortRankArgs("-json")...)...)
+	var rep bench.Report
+	if err := json.Unmarshal([]byte(stdout), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != len(pqadapt.Impls()) {
+		t.Errorf("rows = %d, want the %d line-up impls", len(rep.Rows), len(pqadapt.Impls()))
+	}
+}

@@ -1,0 +1,89 @@
+package driver
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"time"
+
+	"powerchoice/internal/bench"
+	"powerchoice/internal/graph"
+	"powerchoice/internal/pqadapt"
+)
+
+// runSSSP regenerates Figure 3: running time of a parallel single-source
+// shortest-path computation over the line-up. The paper's California road
+// network is replaced by a synthetic road-network surrogate (see DESIGN.md,
+// substitutions).
+func runSSSP(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("powerbench sssp", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	grid := fs.Int("grid", 300, "road network is grid x grid intersections")
+	diag := fs.Float64("diag", 0.15, "fraction of diagonal shortcuts")
+	threadsFlag := fs.String("threads", defaultThreads(), "comma-separated thread counts")
+	implsFlag := fs.String("impls", allImpls(), "comma-separated implementations")
+	queues := fs.Int("queues", 0, "pin the MultiQueue queue count (0 = derive from the host)")
+	reps := fs.Int("reps", 3, "repetitions per configuration (best time reported)")
+	seed := fs.Uint64("seed", 42, "root random seed")
+	verify := fs.Bool("verify", false, "verify distances against sequential Dijkstra")
+	var out output
+	out.addFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	g, err := graph.RoadNetwork(*grid, *grid, *diag, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "road network: %d nodes, %d edges\n", g.NumNodes(), g.NumEdges())
+	threads, err := parseInts(*threadsFlag)
+	if err != nil {
+		return err
+	}
+	if *reps < 1 {
+		*reps = 1
+	}
+	// Sequential Dijkstra reference time.
+	seqStart := time.Now()
+	if _, err := graph.Dijkstra(g, 0); err != nil {
+		return err
+	}
+	seqTime := time.Since(seqStart)
+	fmt.Fprintf(stderr, "sequential Dijkstra: %v\n", seqTime)
+
+	tb := bench.NewTable("impl", "threads", "ms", "speedup_vs_seq", "wasted_pops")
+	rep := bench.NewReport("sssp", *seed)
+	for _, impl := range splitList(*implsFlag) {
+		for _, th := range threads {
+			var best bench.SSSPResult
+			for r := 0; r < *reps; r++ {
+				res, err := bench.SSSP(bench.SSSPSpec{
+					Impl:    pqadapt.Impl(impl),
+					Queues:  *queues,
+					G:       g,
+					Source:  0,
+					Threads: th,
+					Seed:    *seed + uint64(r),
+					Verify:  *verify,
+				})
+				if err != nil {
+					return err
+				}
+				if best.Elapsed == 0 || res.Elapsed < best.Elapsed {
+					best = res
+				}
+			}
+			ms := float64(best.Elapsed.Microseconds()) / 1000
+			speedup := seqTime.Seconds() / best.Elapsed.Seconds()
+			tb.AddRow(impl, th, ms, speedup, best.Stats.WastedPops)
+			row := bench.Row{
+				Impl: impl, Threads: th,
+				Millis: ms, Speedup: speedup, WastedPops: best.Stats.WastedPops,
+			}
+			row.SetTopology(best.Topology)
+			rep.Add(row)
+			fmt.Fprintf(stderr, "done: %-12s threads=%-3d %v\n", impl, th, best.Elapsed)
+		}
+	}
+	return out.emit(stdout, tb, rep)
+}

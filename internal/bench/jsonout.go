@@ -1,0 +1,113 @@
+package bench
+
+import (
+	"encoding/json"
+	"runtime"
+
+	"powerchoice/internal/pqadapt"
+)
+
+// Host records the machine a benchmark ran on. Every JSON report carries it
+// so that entries in the BENCH_*.json perf trajectory remain interpretable
+// when the hardware underneath them changes.
+type Host struct {
+	// GOMAXPROCS is the Go scheduler's processor count at report time —
+	// the P that queue-count derivation and thread sweeps key off.
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// NumCPU is the machine's logical CPU count.
+	NumCPU int `json:"num_cpu"`
+	// GoVersion is the runtime's version string.
+	GoVersion string `json:"go_version"`
+	// OS and Arch identify the platform.
+	OS   string `json:"os"`
+	Arch string `json:"arch"`
+}
+
+// CurrentHost captures the running machine.
+func CurrentHost() Host {
+	return Host{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		GoVersion:  runtime.Version(),
+		OS:         runtime.GOOS,
+		Arch:       runtime.GOARCH,
+	}
+}
+
+// Row is one measurement in a JSON report: the resolved configuration it
+// ran with plus whichever metric block the command produced. Metric fields
+// not applicable to the command are omitted.
+type Row struct {
+	// Impl names the implementation; empty for anonymous β-sweep rows.
+	Impl string `json:"impl,omitempty"`
+	// Beta, Queues and Choices are the resolved MultiQueue topology
+	// (absent for implementations without internal queues). Beta is a
+	// pointer so that β = 0 — a legitimate sweep point — survives
+	// serialisation.
+	Beta    *float64 `json:"beta,omitempty"`
+	Queues  int      `json:"queues,omitempty"`
+	Choices int      `json:"choices,omitempty"`
+	// Threads is the worker count of the measurement.
+	Threads int `json:"threads,omitempty"`
+
+	// Throughput metrics (powerbench throughput).
+	MOps float64 `json:"mops,omitempty"`
+	Ops  int64   `json:"ops,omitempty"`
+
+	// Rank-quality metrics (powerbench rank / sweep).
+	MeanRank float64 `json:"mean_rank,omitempty"`
+	P50      float64 `json:"p50,omitempty"`
+	P99      float64 `json:"p99,omitempty"`
+	MaxRank  float64 `json:"max_rank,omitempty"`
+	Removals int     `json:"removals,omitempty"`
+
+	// SSSP metrics (powerbench sssp).
+	Millis     float64 `json:"ms,omitempty"`
+	Speedup    float64 `json:"speedup_vs_seq,omitempty"`
+	WastedPops int64   `json:"wasted_pops,omitempty"`
+}
+
+// SetTopology copies a resolved topology into the row.
+func (r *Row) SetTopology(top pqadapt.Topology) {
+	if string(top.Impl) != "" {
+		r.Impl = string(top.Impl)
+	}
+	r.Queues = top.Queues
+	r.Choices = top.Choices
+	if top.Queues > 0 {
+		beta := top.Beta
+		r.Beta = &beta
+	}
+}
+
+// Report is the machine-readable output of one powerbench invocation. Its
+// JSON form is stable and deterministic (struct-ordered keys, indented), so
+// reports can be appended to the repository's BENCH_*.json history and
+// diffed across commits.
+type Report struct {
+	// Command is the powerbench subcommand that produced the report.
+	Command string `json:"command"`
+	// Seed is the root seed every measurement derived its randomness from.
+	Seed uint64 `json:"seed"`
+	// Host is the machine the numbers were measured on.
+	Host Host `json:"host"`
+	// Rows are the measurements, in emission order.
+	Rows []Row `json:"rows"`
+}
+
+// NewReport starts a report for the given subcommand on this host.
+func NewReport(command string, seed uint64) *Report {
+	return &Report{Command: command, Seed: seed, Host: CurrentHost(), Rows: []Row{}}
+}
+
+// Add appends one measurement row.
+func (r *Report) Add(row Row) { r.Rows = append(r.Rows, row) }
+
+// JSON renders the report, indented, with a trailing newline.
+func (r *Report) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}

@@ -1,0 +1,116 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"powerchoice/internal/pqadapt"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+func floatPtr(f float64) *float64 { return &f }
+
+// pinnedReport is a fully specified report — host included — so its JSON
+// rendering is byte-identical on every machine.
+func pinnedReport() *Report {
+	return &Report{
+		Command: "rank",
+		Seed:    42,
+		Host: Host{
+			GOMAXPROCS: 8,
+			NumCPU:     8,
+			GoVersion:  "go1.24.0",
+			OS:         "linux",
+			Arch:       "amd64",
+		},
+		Rows: []Row{
+			{
+				Impl: "multiqueue", Beta: floatPtr(1), Queues: 8, Choices: 2,
+				Threads: 8, MeanRank: 9.25, P50: 7, P99: 41, MaxRank: 113,
+				Removals: 4096,
+			},
+			{
+				Impl: "onebeta50", Beta: floatPtr(0.5), Queues: 8, Choices: 2,
+				Threads: 8, MeanRank: 14.5, P50: 11, P99: 77, MaxRank: 240,
+				Removals: 4096,
+			},
+			{
+				Impl: "skiplist", Threads: 8, MeanRank: 1, P50: 1, P99: 1,
+				MaxRank: 2, Removals: 4096,
+			},
+		},
+	}
+}
+
+func TestReportGolden(t *testing.T) {
+	got, err := pinnedReport().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "report_golden.json")
+	if *updateGolden {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("report JSON drifted from golden file.\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	in := pinnedReport()
+	// A β = 0 sweep row must survive the trip: beta is a pointer exactly so
+	// that zero is distinguishable from absent.
+	in.Rows = append(in.Rows, Row{
+		Beta: floatPtr(0), Queues: 8, Choices: 2, Threads: 8,
+		MeanRank: 3.5, P50: 3, P99: 12, MaxRank: 30, Removals: 2048,
+	})
+	b, err := in.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Report
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(*in, out) {
+		t.Errorf("round trip mismatch:\nin:  %+v\nout: %+v", *in, out)
+	}
+	last := out.Rows[len(out.Rows)-1]
+	if last.Beta == nil || *last.Beta != 0 {
+		t.Errorf("β = 0 did not survive the round trip: %+v", last)
+	}
+}
+
+func TestCurrentHostPopulated(t *testing.T) {
+	h := CurrentHost()
+	if h.GOMAXPROCS < 1 || h.NumCPU < 1 || h.GoVersion == "" || h.OS == "" || h.Arch == "" {
+		t.Errorf("CurrentHost incomplete: %+v", h)
+	}
+}
+
+func TestRowSetTopology(t *testing.T) {
+	var r Row
+	r.SetTopology(pqadapt.Topology{Impl: pqadapt.ImplOneBeta75, Queues: 8, Choices: 2, Beta: 0.75})
+	if r.Impl != "onebeta75" || r.Queues != 8 || r.Choices != 2 || r.Beta == nil || *r.Beta != 0.75 {
+		t.Errorf("SetTopology: %+v", r)
+	}
+	// Implementations without internal queues contribute no topology fields.
+	var s Row
+	s.Impl = "skiplist"
+	s.SetTopology(pqadapt.Topology{Impl: pqadapt.ImplSkipList})
+	if s.Impl != "skiplist" || s.Queues != 0 || s.Beta != nil {
+		t.Errorf("SetTopology on skiplist: %+v", s)
+	}
+}

@@ -16,12 +16,17 @@ import (
 // RankSpec configures a rank-quality measurement (Figure 2: mean rank
 // returned vs β, on a fixed queue count and thread count).
 type RankSpec struct {
-	// Impl optionally selects a non-MultiQueue implementation from the
-	// benchmark line-up; when set, Beta and Queues are ignored.
+	// Impl optionally selects an implementation from the benchmark line-up;
+	// when set, Beta is ignored (the line-up impl fixes β) but Queues still
+	// applies to MultiQueue implementations.
 	Impl pqadapt.Impl
 	// Beta is the (1+β) parameter of the MultiQueue under test.
 	Beta float64
-	// Queues fixes the internal queue count (the paper uses 8).
+	// Queues fixes the internal queue count of MultiQueue implementations.
+	// When 0, rank measurements default to the paper's fixed topology
+	// (pqadapt.PaperQueues = 8) rather than a host-derived count, so rank
+	// numbers are comparable across machines and never degenerate on small
+	// ones.
 	Queues int
 	// Threads is the number of concurrent deleters (the paper uses 8).
 	Threads int
@@ -44,6 +49,8 @@ type RankResult struct {
 	Removals int
 	// Hist buckets ranks geometrically.
 	Hist *stats.Histogram
+	// Topology records what the measured queue resolved to.
+	Topology pqadapt.Topology
 }
 
 // rankEvent is one globally sequenced queue operation.
@@ -66,7 +73,15 @@ func RankQuality(spec RankSpec) (RankResult, error) {
 	var q pqadapt.Queue
 	var err error
 	if spec.Impl != "" {
-		q, err = pqadapt.New(spec.Impl, spec.Seed)
+		queues := spec.Queues
+		if queues == 0 && pqadapt.IsMultiQueue(spec.Impl) {
+			// Rank experiments run the paper's fixed topology by default:
+			// a host-derived queue count would make rank numbers (and on
+			// 2-core machines, the very existence of relaxation) depend on
+			// GOMAXPROCS.
+			queues = pqadapt.PaperQueues
+		}
+		q, err = pqadapt.NewSpec(pqadapt.Spec{Impl: spec.Impl, Queues: queues, Seed: spec.Seed})
 	} else {
 		if spec.Queues < 1 {
 			return RankResult{}, fmt.Errorf("bench: invalid rank spec %+v", spec)
@@ -76,8 +91,21 @@ func RankQuality(spec RankSpec) (RankResult, error) {
 	if err != nil {
 		return RankResult{}, err
 	}
+	topology := pqadapt.TopologyOf(spec.Impl, q)
+	// Prefill MultiQueues through one dedicated handle rather than the
+	// pooled path: pooled handles are re-created whenever the goroutine
+	// migrates, which makes the random queue assignment — and hence a
+	// single-threaded run — nondeterministic even under a fixed seed.
+	// (k-LSM keeps the shared path: a dedicated local handle would strand
+	// its final partial insert batch when abandoned.)
+	ins := graph.ConcurrentPQ(q)
+	if _, isMQ := q.(pqadapt.MQConfigured); isMQ {
+		if wl, ok := q.(graph.WorkerLocal); ok {
+			ins = wl.Local()
+		}
+	}
 	for i := 0; i < spec.Prefill; i++ {
-		q.Insert(uint64(i), int32(i))
+		ins.Insert(uint64(i), int32(i))
 	}
 	// Collect prefill garbage before measuring: a GC pause that lands while
 	// a worker holds a queue's spin lock stalls that queue's frontier and
@@ -157,5 +185,6 @@ func RankQuality(spec RankSpec) (RankResult, error) {
 		Max:      welford.Max(),
 		Removals: len(ranks),
 		Hist:     hist,
+		Topology: topology,
 	}, nil
 }

@@ -12,6 +12,9 @@ import (
 type SSSPSpec struct {
 	// Impl selects the queue implementation driving Dijkstra.
 	Impl pqadapt.Impl
+	// Queues fixes the internal queue count of MultiQueue implementations;
+	// 0 derives it from the host.
+	Queues int
 	// G is the input graph; Source the start node.
 	G      *graph.Graph
 	Source int
@@ -27,6 +30,8 @@ type SSSPSpec struct {
 type SSSPResult struct {
 	Elapsed time.Duration
 	Stats   graph.SSSPStats
+	// Topology records what the measured queue resolved to.
+	Topology pqadapt.Topology
 }
 
 // SSSP times one parallel shortest-path computation.
@@ -34,10 +39,11 @@ func SSSP(spec SSSPSpec) (SSSPResult, error) {
 	if spec.G == nil {
 		return SSSPResult{}, fmt.Errorf("bench: nil graph")
 	}
-	q, err := pqadapt.New(spec.Impl, spec.Seed)
+	q, err := pqadapt.NewSpec(pqadapt.Spec{Impl: spec.Impl, Queues: spec.Queues, Seed: spec.Seed})
 	if err != nil {
 		return SSSPResult{}, err
 	}
+	topology := pqadapt.TopologyOf(spec.Impl, q)
 	start := time.Now()
 	dist, st, err := graph.ParallelSSSP(spec.G, spec.Source, q, spec.Threads)
 	elapsed := time.Since(start)
@@ -55,5 +61,5 @@ func SSSP(spec SSSPSpec) (SSSPResult, error) {
 			}
 		}
 	}
-	return SSSPResult{Elapsed: elapsed, Stats: st}, nil
+	return SSSPResult{Elapsed: elapsed, Stats: st, Topology: topology}, nil
 }

@@ -22,6 +22,10 @@ import (
 type ThroughputSpec struct {
 	// Impl selects the queue implementation.
 	Impl pqadapt.Impl
+	// Queues fixes the internal queue count of MultiQueue implementations;
+	// 0 derives it from the host (the paper's throughput runs use n = 2·P,
+	// which is the derived default).
+	Queues int
 	// Threads is the number of worker goroutines.
 	Threads int
 	// Duration bounds the run; the deadline is checked every 64 operations.
@@ -41,6 +45,8 @@ type ThroughputResult struct {
 	Elapsed time.Duration
 	// MOps is throughput in million operations per second.
 	MOps float64
+	// Topology records what the measured queue resolved to.
+	Topology pqadapt.Topology
 }
 
 // paddedCount keeps per-worker counters on separate cache lines.
@@ -58,10 +64,11 @@ func Throughput(spec ThroughputSpec) (ThroughputResult, error) {
 	if spec.Duration <= 0 {
 		return ThroughputResult{}, fmt.Errorf("bench: non-positive duration %v", spec.Duration)
 	}
-	q, err := pqadapt.New(spec.Impl, spec.Seed)
+	q, err := pqadapt.NewSpec(pqadapt.Spec{Impl: spec.Impl, Queues: spec.Queues, Seed: spec.Seed})
 	if err != nil {
 		return ThroughputResult{}, err
 	}
+	topology := pqadapt.TopologyOf(spec.Impl, q)
 	sh := xrand.NewSharded(spec.Seed)
 	prefillRng := sh.Source(1 << 20)
 	for i := 0; i < spec.Prefill; i++ {
@@ -106,8 +113,9 @@ func Throughput(spec ThroughputSpec) (ThroughputResult, error) {
 		total += counts[i].n
 	}
 	return ThroughputResult{
-		Ops:     total,
-		Elapsed: elapsed,
-		MOps:    float64(total) / elapsed.Seconds() / 1e6,
+		Ops:      total,
+		Elapsed:  elapsed,
+		MOps:     float64(total) / elapsed.Seconds() / 1e6,
+		Topology: topology,
 	}, nil
 }

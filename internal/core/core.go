@@ -46,6 +46,7 @@ type MultiQueue[V any] struct {
 	choices    int
 	stickiness int
 	atomic     bool
+	resolved   Config
 
 	globalMu sync.Mutex // used only in atomic mode
 	handles  sync.Pool
@@ -65,6 +66,35 @@ type lockedQueue[V any] struct {
 	_     [32]byte // pad struct past a cache line boundary
 }
 
+// Config reports the topology and parameters a MultiQueue actually resolved
+// to, so harnesses can log what ran rather than what was requested. The
+// derived queue count depends on GOMAXPROCS (with a floor, see
+// minDerivedQueues); recording the resolved values is what makes benchmark
+// output comparable across machines.
+type Config struct {
+	// Queues is n, the resolved number of internal queues.
+	Queues int
+	// Choices is d, the resolved number of queues sampled per
+	// choice-deletion.
+	Choices int
+	// Beta is the two-choice probability β.
+	Beta float64
+	// Stickiness is the per-handle queue-reuse streak length (1 = fully
+	// random, the paper's rule).
+	Stickiness int
+	// Seed is the root seed of the per-handle random streams.
+	Seed uint64
+	// Heap names the sequential heap backing each queue.
+	Heap pqueue.Kind
+	// Atomic reports the distributionally linearizable validation mode.
+	Atomic bool
+	// QueuesPinned is true when WithQueues fixed n explicitly; false means
+	// n was derived from factor × GOMAXPROCS and the floor.
+	QueuesPinned bool
+	// ChoicesPinned is true when WithChoices fixed d explicitly.
+	ChoicesPinned bool
+}
+
 // New constructs a MultiQueue from the given options (see Option).
 func New[V any](opts ...Option) (*MultiQueue[V], error) {
 	cfg, err := buildOptions(opts)
@@ -77,7 +107,18 @@ func New[V any](opts ...Option) (*MultiQueue[V], error) {
 		choices:    cfg.choices,
 		stickiness: cfg.stickiness,
 		atomic:     cfg.atomicMode,
-		sharded:    xrand.NewSharded(cfg.seed),
+		resolved: Config{
+			Queues:        cfg.queues,
+			Choices:       cfg.choices,
+			Beta:          cfg.beta,
+			Stickiness:    cfg.stickiness,
+			Seed:          cfg.seed,
+			Heap:          cfg.heapKind,
+			Atomic:        cfg.atomicMode,
+			QueuesPinned:  cfg.queuesPinned,
+			ChoicesPinned: cfg.choicesPinned,
+		},
+		sharded: xrand.NewSharded(cfg.seed),
 	}
 	for i := range mq.queues {
 		mq.queues[i].heap = pqueue.New[V](cfg.heapKind)
@@ -89,6 +130,10 @@ func New[V any](opts ...Option) (*MultiQueue[V], error) {
 
 // NumQueues returns n, the number of internal queues.
 func (mq *MultiQueue[V]) NumQueues() int { return len(mq.queues) }
+
+// Config returns the fully resolved configuration this MultiQueue runs
+// with, including values that were derived rather than requested.
+func (mq *MultiQueue[V]) Config() Config { return mq.resolved }
 
 // Beta returns the configured two-choice probability.
 func (mq *MultiQueue[V]) Beta() float64 { return mq.beta }

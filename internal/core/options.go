@@ -10,6 +10,15 @@ import (
 // Option configures a MultiQueue.
 type Option func(*config)
 
+// minDerivedQueues is the floor applied to queue counts derived from
+// factor × GOMAXPROCS. Without it, a small machine (GOMAXPROCS ≤ 2) would
+// resolve to n = 2 queues, where the default d = 2 choice-deletion samples
+// *every* queue and the (1+β) MultiQueue silently degenerates into an exact
+// — but contended — queue. Four queues keep choices < queues on any host, so
+// the structure's relaxation (and the paper's predicted rank behaviour) is
+// machine-independent. WithQueues bypasses the floor.
+const minDerivedQueues = 4
+
 type config struct {
 	queues     int
 	factor     int
@@ -19,16 +28,22 @@ type config struct {
 	seed       uint64
 	heapKind   pqueue.Kind
 	atomicMode bool
+
+	// resolved bookkeeping, filled in by buildOptions.
+	queuesPinned  bool
+	choicesPinned bool
 }
 
 // WithQueues sets the number of internal queues explicitly. It overrides
-// WithQueueFactor.
+// WithQueueFactor and bypasses the derived-queue floor: an explicit n is
+// honoured exactly, even when it degenerates the structure (n = choices).
 func WithQueues(n int) Option {
 	return func(c *config) { c.queues = n }
 }
 
-// WithQueueFactor sets the queue count to factor × GOMAXPROCS, the paper's
-// n = c·P configuration. The default factor is 2.
+// WithQueueFactor derives the queue count as max(4, factor × GOMAXPROCS),
+// the paper's n = c·P configuration with a floor that keeps choices < queues
+// on small machines (see minDerivedQueues). The default factor is 2.
 func WithQueueFactor(factor int) Option {
 	return func(c *config) { c.factor = factor }
 }
@@ -91,11 +106,15 @@ func buildOptions(opts []Option) (config, error) {
 	for _, o := range opts {
 		o(&c)
 	}
-	if c.queues == 0 {
+	c.queuesPinned = c.queues != 0
+	if !c.queuesPinned {
 		if c.factor < 1 {
 			return c, fmt.Errorf("core: queue factor %d < 1", c.factor)
 		}
 		c.queues = c.factor * runtime.GOMAXPROCS(0)
+		if c.queues < minDerivedQueues {
+			c.queues = minDerivedQueues
+		}
 	}
 	if c.queues < 1 {
 		return c, fmt.Errorf("core: need at least one queue, got %d", c.queues)
@@ -103,10 +122,17 @@ func buildOptions(opts []Option) (config, error) {
 	if c.beta < 0 || c.beta > 1 {
 		return c, fmt.Errorf("core: beta %v outside [0,1]", c.beta)
 	}
-	if c.choices == 0 {
+	c.choicesPinned = c.choices != 0
+	if !c.choicesPinned {
+		// A defaulted d must leave genuine relaxation: d = n samples every
+		// queue and is exact. Derive d = min(2, n-1), clamped to at least 1
+		// (n = 1 is inherently exact — there is nothing to choose between).
 		c.choices = 2
-		if c.queues < 2 {
-			c.choices = 1
+		if c.choices >= c.queues {
+			c.choices = c.queues - 1
+			if c.choices < 1 {
+				c.choices = 1
+			}
 		}
 	}
 	if c.choices < 1 || c.choices > c.queues {

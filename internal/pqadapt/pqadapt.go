@@ -42,6 +42,73 @@ func Impls() []Impl {
 	}
 }
 
+// PaperQueues is the fixed queue count of the paper's rank-quality
+// experiments (§5, Figure 2: n = 8 queues, 8 threads). Rank harnesses pin
+// the MultiQueue legs to this topology so the measured relaxation is a
+// property of the configuration, not of the host's core count.
+const PaperQueues = 8
+
+// IsMultiQueue reports whether impl is backed by a core.MultiQueue, i.e.
+// whether an explicit queue count applies to it.
+func IsMultiQueue(impl Impl) bool {
+	_, ok := mqBeta(impl)
+	return ok
+}
+
+// mqBeta maps a MultiQueue line-up implementation to its β.
+func mqBeta(impl Impl) (float64, bool) {
+	switch impl {
+	case ImplMultiQueue:
+		return 1, true
+	case ImplOneBeta75:
+		return 0.75, true
+	case ImplOneBeta50:
+		return 0.5, true
+	}
+	return 0, false
+}
+
+// Spec pins down one line-up construction precisely enough to reproduce it
+// on any machine.
+type Spec struct {
+	// Impl selects the implementation.
+	Impl Impl
+	// Queues fixes the internal queue count of MultiQueue implementations;
+	// 0 derives it from the host (factor × GOMAXPROCS with a floor). The
+	// field is ignored for implementations without internal queues.
+	Queues int
+	// Seed fixes all randomness.
+	Seed uint64
+}
+
+// Topology describes what a constructed queue actually resolved to, for
+// benchmark output. Queues/Choices/Beta are zero for implementations they
+// do not apply to.
+type Topology struct {
+	Impl    Impl    `json:"impl"`
+	Queues  int     `json:"queues,omitempty"`
+	Choices int     `json:"choices,omitempty"`
+	Beta    float64 `json:"beta,omitempty"`
+}
+
+// MQConfigured is implemented by adapters backed by a core.MultiQueue and
+// exposes the resolved core configuration.
+type MQConfigured interface {
+	MQConfig() core.Config
+}
+
+// TopologyOf reports the resolved topology of a constructed queue.
+func TopologyOf(impl Impl, q Queue) Topology {
+	top := Topology{Impl: impl}
+	if c, ok := q.(MQConfigured); ok {
+		cfg := c.MQConfig()
+		top.Queues = cfg.Queues
+		top.Choices = cfg.Choices
+		top.Beta = cfg.Beta
+	}
+	return top
+}
+
 // Queue is a graph.ConcurrentPQ with a size accessor, satisfied by every
 // adapter in this package.
 type Queue interface {
@@ -49,17 +116,24 @@ type Queue interface {
 	Len() int
 }
 
-// New constructs the named implementation, seeded deterministically.
+// New constructs the named implementation, seeded deterministically, with
+// MultiQueue topologies derived from the host. Harnesses that must be
+// machine-independent should use NewSpec with an explicit queue count.
 func New(impl Impl, seed uint64) (Queue, error) {
-	switch impl {
-	case ImplMultiQueue:
-		return newMultiQueue(1, seed)
-	case ImplOneBeta75:
-		return newMultiQueue(0.75, seed)
-	case ImplOneBeta50:
-		return newMultiQueue(0.5, seed)
+	return NewSpec(Spec{Impl: impl, Seed: seed})
+}
+
+// NewSpec constructs the implementation named by the spec. For MultiQueue
+// implementations a non-zero Spec.Queues pins the internal queue count —
+// the paper's fixed-topology experiments use PaperQueues — instead of
+// deriving it from GOMAXPROCS.
+func NewSpec(spec Spec) (Queue, error) {
+	if beta, ok := mqBeta(spec.Impl); ok {
+		return NewMultiQueueBeta(beta, spec.Queues, spec.Seed)
+	}
+	switch spec.Impl {
 	case ImplSkipList:
-		return &skipAdapter{s: skiplist.New[int32](seed)}, nil
+		return &skipAdapter{s: skiplist.New[int32](spec.Seed)}, nil
 	case ImplKLSM:
 		q, err := klsm.New[int32](256, 8)
 		if err != nil {
@@ -69,26 +143,19 @@ func New(impl Impl, seed uint64) (Queue, error) {
 	case ImplGlobalLock:
 		return &lockedHeap{h: pqueue.NewBinaryHeap[int32]()}, nil
 	default:
-		return nil, fmt.Errorf("pqadapt: unknown implementation %q", impl)
+		return nil, fmt.Errorf("pqadapt: unknown implementation %q", spec.Impl)
 	}
 }
 
 // NewMultiQueueBeta constructs a (1+β) MultiQueue adapter with an arbitrary
-// β, for the β-sweep experiments (Figure 2, ablation A2).
+// β, for the β-sweep experiments (Figure 2, ablation A2). queues = 0 derives
+// the count from the host.
 func NewMultiQueueBeta(beta float64, queues int, seed uint64) (Queue, error) {
 	opts := []core.Option{core.WithBeta(beta), core.WithSeed(seed)}
 	if queues > 0 {
 		opts = append(opts, core.WithQueues(queues))
 	}
 	mq, err := core.New[int32](opts...)
-	if err != nil {
-		return nil, err
-	}
-	return &mqAdapter{mq: mq}, nil
-}
-
-func newMultiQueue(beta float64, seed uint64) (Queue, error) {
-	mq, err := core.New[int32](core.WithBeta(beta), core.WithSeed(seed))
 	if err != nil {
 		return nil, err
 	}
@@ -103,6 +170,9 @@ type mqAdapter struct {
 var _ graph.WorkerLocal = (*mqAdapter)(nil)
 
 func (a *mqAdapter) Insert(key uint64, node int32) { a.mq.Insert(key, node) }
+
+// MQConfig exposes the resolved core configuration (see MQConfigured).
+func (a *mqAdapter) MQConfig() core.Config { return a.mq.Config() }
 func (a *mqAdapter) DeleteMin() (uint64, int32, bool) {
 	return a.mq.DeleteMin()
 }
@@ -147,11 +217,16 @@ func (a *klsmAdapter) handle() *klsm.Handle[int32] {
 	return a.h
 }
 
+// Insert buffers through the fallback handle, which publishes to the shared
+// component in insert-bound batches — the k-LSM's amortisation. Flushing
+// per element here would take the structure's internal lock on every insert
+// (on top of the adapter mutex), exactly the contention batching exists to
+// avoid. Elements still pending in the buffer are visible to this adapter's
+// DeleteMin (same handle) and are published to everyone by the next natural
+// batch flush or by Local.
 func (a *klsmAdapter) Insert(key uint64, node int32) {
 	a.mu.Lock()
-	h := a.handle()
-	h.Insert(key, node)
-	h.Flush()
+	a.handle().Insert(key, node)
 	a.mu.Unlock()
 }
 
@@ -163,8 +238,15 @@ func (a *klsmAdapter) DeleteMin() (uint64, int32, bool) {
 
 func (a *klsmAdapter) Len() int { return a.q.Len() }
 
-// Local returns a per-goroutine k-LSM handle view.
+// Local returns a per-goroutine k-LSM handle view. It first publishes any
+// inserts still batched in the shared fallback handle, so a worker view
+// observes everything inserted through the adapter before its creation.
 func (a *klsmAdapter) Local() graph.ConcurrentPQ {
+	a.mu.Lock()
+	if a.h != nil {
+		a.h.Flush()
+	}
+	a.mu.Unlock()
 	return &klsmLocal{h: a.q.Handle()}
 }
 

@@ -125,6 +125,105 @@ func TestNewMultiQueueBeta(t *testing.T) {
 	}
 }
 
+func TestNewSpecPinsTopology(t *testing.T) {
+	for _, impl := range []Impl{ImplMultiQueue, ImplOneBeta50, ImplOneBeta75} {
+		impl := impl
+		t.Run(string(impl), func(t *testing.T) {
+			q, err := NewSpec(Spec{Impl: impl, Queues: PaperQueues, Seed: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			top := TopologyOf(impl, q)
+			if top.Queues != PaperQueues {
+				t.Errorf("queues = %d, want %d", top.Queues, PaperQueues)
+			}
+			if top.Choices >= top.Queues {
+				t.Errorf("degenerate pinned topology: choices %d ≥ queues %d", top.Choices, top.Queues)
+			}
+			if top.Beta <= 0 || top.Beta > 1 {
+				t.Errorf("beta = %v", top.Beta)
+			}
+		})
+	}
+	// Unpinned MultiQueue derives from the host but never degenerates.
+	q, err := NewSpec(Spec{Impl: ImplMultiQueue, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top := TopologyOf(ImplMultiQueue, q); top.Queues < 4 || top.Choices >= top.Queues {
+		t.Errorf("derived topology degenerate: %+v", top)
+	}
+	// Non-MultiQueue impls ignore Queues and report no topology.
+	sq, err := NewSpec(Spec{Impl: ImplSkipList, Queues: PaperQueues, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top := TopologyOf(ImplSkipList, sq); top.Queues != 0 || top.Choices != 0 || top.Beta != 0 {
+		t.Errorf("skiplist reports queue topology: %+v", top)
+	}
+}
+
+func TestIsMultiQueue(t *testing.T) {
+	want := map[Impl]bool{
+		ImplMultiQueue: true, ImplOneBeta50: true, ImplOneBeta75: true,
+		ImplSkipList: false, ImplKLSM: false, ImplGlobalLock: false,
+	}
+	for impl, mq := range want {
+		if IsMultiQueue(impl) != mq {
+			t.Errorf("IsMultiQueue(%s) = %v, want %v", impl, !mq, mq)
+		}
+	}
+}
+
+// TestKLSMSharedPathPublishesAllInserts: the shared fallback path batches
+// inserts through its handle instead of flushing per element; every insert
+// must still end up retrievable, both by the shared path itself and by local
+// views created afterwards.
+func TestKLSMSharedPathPublishesAllInserts(t *testing.T) {
+	const n = 100 // not a multiple of the insert bound, so a partial batch stays pending
+	q, err := New(ImplKLSM, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		q.Insert(uint64(i), int32(i))
+	}
+	if q.Len() != n {
+		t.Fatalf("Len = %d after %d shared inserts", q.Len(), n)
+	}
+	// A local view created now must observe every prior shared insert,
+	// including the partial batch still in the fallback handle's buffer.
+	local := q.(graph.WorkerLocal).Local()
+	seen := make([]bool, n)
+	for i := 0; i < n; i++ {
+		k, _, ok := local.DeleteMin()
+		if !ok {
+			t.Fatalf("local view drained after %d of %d", i, n)
+		}
+		if seen[k] {
+			t.Fatalf("key %d delivered twice", k)
+		}
+		seen[k] = true
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d after drain", q.Len())
+	}
+
+	// The shared path alone must also round-trip everything it inserted.
+	q2, err := New(ImplKLSM, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		q2.Insert(uint64(i), int32(i))
+	}
+	for i := 0; i < n; i++ {
+		if _, _, ok := q2.DeleteMin(); !ok {
+			t.Fatalf("shared path drained after %d of %d", i, n)
+		}
+	}
+}
+
 func TestConcurrentSmokeAllImpls(t *testing.T) {
 	for _, impl := range Impls() {
 		impl := impl

@@ -91,6 +91,13 @@ func (q *MultiQueue[V]) Len() int { return q.inner.Len() }
 // NumQueues returns the internal queue count n.
 func (q *MultiQueue[V]) NumQueues() int { return q.inner.NumQueues() }
 
+// Config reports the fully resolved configuration — including the queue
+// count actually derived on this machine — so callers can log what ran.
+type Config = core.Config
+
+// Config returns the resolved configuration.
+func (q *MultiQueue[V]) Config() Config { return q.inner.Config() }
+
 // Beta returns the configured two-choice probability.
 func (q *MultiQueue[V]) Beta() float64 { return q.inner.Beta() }
 
