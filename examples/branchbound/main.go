@@ -3,9 +3,11 @@
 // branch-and-bound, cited as the first instance of the strategy in §1–§2).
 //
 // Subproblems are explored best-first by upper bound from a (1+β)
-// MultiQueue. Because branch-and-bound tolerates out-of-order exploration —
-// worse nodes are pruned by the incumbent — the relaxed queue yields the
-// exact optimum while letting all workers expand nodes concurrently.
+// MultiQueue, driven by the generic sched executor — the same worker loop
+// that runs parallel SSSP and A*. Because branch-and-bound tolerates
+// out-of-order exploration — worse nodes are pruned by the incumbent — the
+// relaxed queue yields the exact optimum while letting all workers expand
+// nodes concurrently.
 //
 // Run with: go run ./examples/branchbound
 package main
@@ -16,11 +18,11 @@ import (
 	"math"
 	"runtime"
 	"sort"
-	"sync"
 	"sync/atomic"
 	"time"
 
 	"powerchoice"
+	"powerchoice/internal/sched"
 	"powerchoice/internal/xrand"
 )
 
@@ -113,8 +115,20 @@ func fractionalBound(items []item, n node, capacity int64) float64 {
 	return bound
 }
 
+// bbQueue adapts the public MultiQueue facade to the executor, handing each
+// worker goroutine a dedicated handle as its local view.
+type bbQueue struct {
+	q *powerchoice.MultiQueue[node]
+}
+
+func (b bbQueue) Insert(key uint64, n node)       { b.q.Insert(key, n) }
+func (b bbQueue) DeleteMin() (uint64, node, bool) { return b.q.DeleteMin() }
+func (b bbQueue) Local() sched.Queue[node]        { return b.q.NewHandle() }
+
 // parallelBB explores the decision tree best-first (by upper bound) with a
-// relaxed priority queue shared by `workers` goroutines.
+// relaxed priority queue shared by `workers` goroutines. Only the task body
+// is knapsack-specific; termination detection and idle backoff come from
+// the sched executor.
 func parallelBB(items []item, capacity int64, workers int) (best int64, explored int64, err error) {
 	q, err := powerchoice.New[node](
 		powerchoice.WithBeta(0.75),
@@ -129,68 +143,42 @@ func parallelBB(items []item, capacity int64, workers int) (best int64, explored
 		return math.MaxUint64/2 - uint64(bound*16)
 	}
 	var incumbent atomic.Int64
-	var pending atomic.Int64
-	var nodes atomic.Int64
+	raiseIncumbent := func(v int64) {
+		for {
+			c := incumbent.Load()
+			if v <= c || incumbent.CompareAndSwap(c, v) {
+				return
+			}
+		}
+	}
+
+	task := func(_ uint64, n node, push func(uint64, node)) bool {
+		if fractionalBound(items, n, capacity) <= float64(incumbent.Load()) {
+			return false // pruned: the relaxation's wasted work
+		}
+		if int(n.depth) == len(items) {
+			raiseIncumbent(n.value)
+			return true
+		}
+		it := items[n.depth]
+		// Branch 1: take the item (if it fits).
+		if n.weight+it.weight <= capacity {
+			child := node{depth: n.depth + 1, value: n.value + it.value, weight: n.weight + it.weight}
+			raiseIncumbent(child.value)
+			if b := fractionalBound(items, child, capacity); b > float64(incumbent.Load()) {
+				push(keyOf(b), child)
+			}
+		}
+		// Branch 2: skip the item.
+		child := node{depth: n.depth + 1, value: n.value, weight: n.weight}
+		if b := fractionalBound(items, child, capacity); b > float64(incumbent.Load()) {
+			push(keyOf(b), child)
+		}
+		return true
+	}
 
 	root := node{}
-	pending.Add(1)
-	q.Insert(keyOf(fractionalBound(items, root, capacity)), root)
-
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			h := q.NewHandle()
-			for {
-				if pending.Load() == 0 {
-					return
-				}
-				_, n, ok := h.DeleteMin()
-				if !ok {
-					continue // queue momentarily empty; pending keeps us alive
-				}
-				nodes.Add(1)
-				cur := incumbent.Load()
-				if fractionalBound(items, n, capacity) <= float64(cur) {
-					pending.Add(-1)
-					continue // pruned
-				}
-				if int(n.depth) == len(items) {
-					for {
-						c := incumbent.Load()
-						if n.value <= c || incumbent.CompareAndSwap(c, n.value) {
-							break
-						}
-					}
-					pending.Add(-1)
-					continue
-				}
-				it := items[n.depth]
-				// Branch 1: take the item (if it fits).
-				if n.weight+it.weight <= capacity {
-					child := node{depth: n.depth + 1, value: n.value + it.value, weight: n.weight + it.weight}
-					for {
-						c := incumbent.Load()
-						if child.value <= c || incumbent.CompareAndSwap(c, child.value) {
-							break
-						}
-					}
-					if b := fractionalBound(items, child, capacity); b > float64(incumbent.Load()) {
-						pending.Add(1)
-						h.Insert(keyOf(b), child)
-					}
-				}
-				// Branch 2: skip the item.
-				child := node{depth: n.depth + 1, value: n.value, weight: n.weight}
-				if b := fractionalBound(items, child, capacity); b > float64(incumbent.Load()) {
-					pending.Add(1)
-					h.Insert(keyOf(b), child)
-				}
-				pending.Add(-1)
-			}
-		}()
-	}
-	wg.Wait()
-	return incumbent.Load(), nodes.Add(0), nil
+	st := sched.Run[node](bbQueue{q: q}, workers, task,
+		sched.Item[node]{Key: keyOf(fractionalBound(items, root, capacity)), Value: root})
+	return incumbent.Load(), st.Processed + st.Stale, nil
 }

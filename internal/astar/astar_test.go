@@ -1,0 +1,146 @@
+package astar
+
+import (
+	"testing"
+
+	"powerchoice/internal/graph"
+	"powerchoice/internal/pqadapt"
+)
+
+func TestNewGridValidates(t *testing.T) {
+	if _, err := NewGrid(1, 5, 0, 1); err == nil {
+		t.Error("1-wide grid accepted")
+	}
+	if _, err := NewGrid(5, 5, -0.1, 1); err == nil {
+		t.Error("negative obstacleFrac accepted")
+	}
+	if _, err := NewGrid(5, 5, 1, 1); err == nil {
+		t.Error("obstacleFrac 1 accepted")
+	}
+	g, err := NewGrid(8, 6, 0.9, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Blocked(g.Start) || g.Blocked(g.Goal) {
+		t.Error("start or goal blocked")
+	}
+}
+
+// TestHeuristicConsistent: |h(u) − h(v)| ≤ cost(u,v) on every edge, which
+// implies admissibility (h(goal) = 0). Exactness of both search drivers
+// rests on this.
+func TestHeuristicConsistent(t *testing.T) {
+	g, err := NewGrid(12, 9, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Heuristic(g.Goal) != 0 {
+		t.Fatalf("h(goal) = %d", g.Heuristic(g.Goal))
+	}
+	for u := int32(0); int(u) < g.NumNodes(); u++ {
+		hu := g.Heuristic(u)
+		g.neighbors(u, func(v int32, cost uint64) {
+			hv := g.Heuristic(v)
+			diff := hu - hv
+			if hv > hu {
+				diff = hv - hu
+			}
+			if diff > cost {
+				t.Fatalf("inconsistent: |h(%d)−h(%d)| = %d > cost %d", u, v, diff, cost)
+			}
+		})
+	}
+}
+
+// gridToGraph materialises the implicit grid as a CSR graph so sequential
+// Dijkstra can serve as an independent correctness reference.
+func gridToGraph(t *testing.T, g *Grid) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(g.NumNodes())
+	for u := int32(0); int(u) < g.NumNodes(); u++ {
+		if g.Blocked(u) {
+			continue
+		}
+		g.neighbors(u, func(v int32, cost uint64) {
+			if err := b.AddEdge(int(u), int(v), uint32(cost)); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	return b.Build()
+}
+
+func TestSequentialMatchesDijkstra(t *testing.T) {
+	for _, frac := range []float64{0, 0.2, 0.35} {
+		g, err := NewGrid(30, 25, frac, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dist, err := graph.Dijkstra(gridToGraph(t, g), int(g.Start))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := dist[g.Goal] // graph.Inf == astar.Inf when unreachable
+		got := Sequential(g)
+		if got.Cost != want {
+			t.Fatalf("frac=%v: sequential A* cost %d, Dijkstra %d", frac, got.Cost, want)
+		}
+	}
+}
+
+func TestParallelMatchesSequentialAllImpls(t *testing.T) {
+	g, err := NewGrid(40, 32, 0.25, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Sequential(g)
+	for _, impl := range pqadapt.Impls() {
+		impl := impl
+		t.Run(string(impl), func(t *testing.T) {
+			for _, workers := range []int{1, 4} {
+				q, err := pqadapt.New(impl, 13)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := Parallel(g, q, workers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Cost != want.Cost {
+					t.Fatalf("workers=%d: cost %d, want %d", workers, res.Cost, want.Cost)
+				}
+				if res.Stats.Processed == 0 {
+					t.Fatalf("workers=%d: no nodes expanded", workers)
+				}
+			}
+		})
+	}
+}
+
+func TestParallelUnreachableGoal(t *testing.T) {
+	g, err := NewGrid(10, 10, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wall the goal off with a full column of obstacles.
+	for y := 0; y < g.H; y++ {
+		g.blocked[y*g.W+g.W-2] = true
+	}
+	if got := Sequential(g); got.Cost != Inf {
+		t.Fatalf("sequential cost %d through a wall", got.Cost)
+	}
+	q, err := pqadapt.New(pqadapt.ImplMultiQueue, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Parallel(g, q, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost != Inf {
+		t.Fatalf("parallel cost %d through a wall", res.Cost)
+	}
+	if _, err := Parallel(g, nil, 1); err == nil {
+		t.Error("nil queue accepted")
+	}
+}

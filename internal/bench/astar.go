@@ -1,0 +1,81 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"powerchoice/internal/astar"
+	"powerchoice/internal/pqadapt"
+)
+
+// AStarSpec configures one parallel A* timing run (powerbench astar).
+type AStarSpec struct {
+	// Impl selects the queue implementation driving the search.
+	Impl pqadapt.Impl
+	// Queues fixes the internal queue count of MultiQueue implementations;
+	// 0 derives it from the host.
+	Queues int
+	// Grid is the implicit search graph.
+	Grid *astar.Grid
+	// Threads is the worker count.
+	Threads int
+	// Seed fixes queue randomness.
+	Seed uint64
+	// Verify, when set, checks the path cost against sequential A*.
+	Verify bool
+	// Seq optionally carries a precomputed sequential baseline for the
+	// grid (it is deterministic per grid); nil recomputes it, which costs
+	// a full sequential search per call.
+	Seq *astar.SeqResult
+}
+
+// AStarResult reports one timing run.
+type AStarResult struct {
+	Elapsed time.Duration
+	// Cost is the computed start→goal cost (astar.Inf when unreachable).
+	Cost uint64
+	// Expanded counts nodes the parallel search actually expanded;
+	// SeqExpanded is the sequential baseline, so Expanded/SeqExpanded is
+	// the relaxation's search overhead.
+	Expanded    int64
+	SeqExpanded int64
+	// WastedPops counts stale/pruned pops.
+	WastedPops int64
+	// Topology records what the measured queue resolved to.
+	Topology pqadapt.Topology
+}
+
+// AStar times one parallel A* search.
+func AStar(spec AStarSpec) (AStarResult, error) {
+	if spec.Grid == nil {
+		return AStarResult{}, fmt.Errorf("bench: nil grid")
+	}
+	q, err := pqadapt.NewSpec(pqadapt.Spec{Impl: spec.Impl, Queues: spec.Queues, Seed: spec.Seed})
+	if err != nil {
+		return AStarResult{}, err
+	}
+	topology := pqadapt.TopologyOf(spec.Impl, q)
+	var seq astar.SeqResult
+	if spec.Seq != nil {
+		seq = *spec.Seq
+	} else {
+		seq = astar.Sequential(spec.Grid)
+	}
+	start := time.Now()
+	res, err := astar.Parallel(spec.Grid, q, spec.Threads)
+	elapsed := time.Since(start)
+	if err != nil {
+		return AStarResult{}, err
+	}
+	if spec.Verify && res.Cost != seq.Cost {
+		return AStarResult{}, fmt.Errorf("bench: A* cost mismatch: parallel %d, sequential %d", res.Cost, seq.Cost)
+	}
+	return AStarResult{
+		Elapsed:     elapsed,
+		Cost:        res.Cost,
+		Expanded:    res.Stats.Processed,
+		SeqExpanded: seq.Expanded,
+		WastedPops:  res.Stats.Stale,
+		Topology:    topology,
+	}, nil
+}

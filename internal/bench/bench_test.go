@@ -46,6 +46,42 @@ func TestThroughputAllImpls(t *testing.T) {
 	}
 }
 
+// TestThroughputCountsOnlySuccessfulOps: the runner attempts exactly one
+// DeleteMin per Insert, so completed ops plus failed pops must come out
+// even (Ops = inserts + successful deletes, EmptyPops = the rest) — and in
+// the prefetched never-empty regime the paper measures, no pop may fail at
+// all. Failed pops used to be counted as completed work, inflating MOps
+// whenever Prefill was small.
+func TestThroughputCountsOnlySuccessfulOps(t *testing.T) {
+	prefilled, err := Throughput(ThroughputSpec{
+		Impl:     pqadapt.ImplMultiQueue,
+		Threads:  2,
+		Duration: 30 * time.Millisecond,
+		Prefill:  4096,
+		Seed:     11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prefilled.EmptyPops != 0 {
+		t.Errorf("never-empty regime reported %d empty pops", prefilled.EmptyPops)
+	}
+	empty, err := Throughput(ThroughputSpec{
+		Impl:     pqadapt.ImplGlobalLock,
+		Threads:  4,
+		Duration: 30 * time.Millisecond,
+		Prefill:  0,
+		Seed:     11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if (empty.Ops+empty.EmptyPops)%2 != 0 {
+		t.Errorf("ops %d + empty pops %d not even: some attempt was double- or un-counted",
+			empty.Ops, empty.EmptyPops)
+	}
+}
+
 func TestRankQualityValidates(t *testing.T) {
 	if _, err := RankQuality(RankSpec{}); err == nil {
 		t.Error("zero spec accepted")

@@ -1,0 +1,87 @@
+package driver
+
+import (
+	"flag"
+	"fmt"
+	"io"
+
+	"powerchoice/internal/astar"
+	"powerchoice/internal/bench"
+	"powerchoice/internal/pqadapt"
+)
+
+// runAStar times parallel A* on an implicit obstacle grid over the line-up.
+// A*'s admissible-heuristic keys make popped keys non-monotone even
+// sequentially, so the workload stresses relaxed pop order harder than the
+// Dijkstra-style SSSP benchmark.
+func runAStar(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("powerbench astar", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	grid := fs.Int("grid", 512, "search space is grid x grid cells")
+	obstacles := fs.Float64("obstacles", 0.25, "fraction of blocked cells")
+	threadsFlag := fs.String("threads", defaultThreads(), "comma-separated thread counts")
+	implsFlag := fs.String("impls", allImpls(), "comma-separated implementations")
+	queues := fs.Int("queues", 0, "pin the MultiQueue queue count (0 = derive from the host)")
+	reps := fs.Int("reps", 3, "repetitions per configuration (best time reported)")
+	seed := fs.Uint64("seed", 42, "root random seed")
+	verify := fs.Bool("verify", false, "verify the path cost against sequential A*")
+	var out output
+	out.addFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	g, err := astar.NewGrid(*grid, *grid, *obstacles, *seed)
+	if err != nil {
+		return err
+	}
+	threads, err := parseInts(*threadsFlag)
+	if err != nil {
+		return err
+	}
+	if *reps < 1 {
+		*reps = 1
+	}
+	seq := astar.Sequential(g)
+	if seq.Cost == astar.Inf {
+		return fmt.Errorf("goal unreachable at obstacle density %v (seed %d); lower -obstacles or change -seed", *obstacles, *seed)
+	}
+	fmt.Fprintf(stderr, "grid: %dx%d, %.0f%% blocked, optimal cost %d, sequential expansions %d\n",
+		*grid, *grid, *obstacles*100, seq.Cost, seq.Expanded)
+
+	tb := bench.NewTable("impl", "threads", "ms", "expanded", "wasted_pops", "overhead")
+	rep := bench.NewReport("astar", *seed)
+	for _, impl := range splitList(*implsFlag) {
+		for _, th := range threads {
+			var best bench.AStarResult
+			for r := 0; r < *reps; r++ {
+				res, err := bench.AStar(bench.AStarSpec{
+					Impl:    pqadapt.Impl(impl),
+					Queues:  *queues,
+					Grid:    g,
+					Threads: th,
+					Seed:    *seed + uint64(r),
+					Verify:  *verify,
+					Seq:     &seq,
+				})
+				if err != nil {
+					return err
+				}
+				if best.Elapsed == 0 || res.Elapsed < best.Elapsed {
+					best = res
+				}
+			}
+			ms := float64(best.Elapsed.Microseconds()) / 1000
+			overhead := float64(best.Expanded) / float64(best.SeqExpanded)
+			tb.AddRow(impl, th, ms, best.Expanded, best.WastedPops, overhead)
+			row := bench.Row{
+				Impl: impl, Threads: th, Millis: ms,
+				Expanded: best.Expanded, SeqExpanded: best.SeqExpanded,
+				WastedPops: best.WastedPops, PathCost: best.Cost,
+			}
+			row.SetTopology(best.Topology)
+			rep.Add(row)
+			fmt.Fprintf(stderr, "done: %-12s threads=%-3d %v\n", impl, th, best.Elapsed)
+		}
+	}
+	return out.emit(stdout, tb, rep)
+}

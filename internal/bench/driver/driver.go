@@ -30,6 +30,8 @@ Subcommands:
   rank         rank quality of named implementations at a fixed topology
   sweep        rank quality of the (1+β) MultiQueue swept over β (Figure 2)
   sssp         parallel single-source shortest paths timing (Figure 3)
+  astar        parallel A* on an implicit obstacle grid (non-monotone keys)
+  jobs         priority job-server drain: inversions + per-class latency
   help         print this message
 
 Every subcommand accepts -csv (CSV instead of an aligned table), -json
@@ -58,6 +60,10 @@ func Main(args []string, stdout, stderr io.Writer) error {
 		return runSweep(rest, stdout, stderr)
 	case "sssp":
 		return runSSSP(rest, stdout, stderr)
+	case "astar":
+		return runAStar(rest, stdout, stderr)
+	case "jobs":
+		return runJobs(rest, stdout, stderr)
 	case "help", "-h", "--help":
 		fmt.Fprint(stdout, usageText)
 		return nil

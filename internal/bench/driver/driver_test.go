@@ -204,6 +204,57 @@ func TestSSSPJSONAndCSV(t *testing.T) {
 	}
 }
 
+func TestAStarJSONVerified(t *testing.T) {
+	stdout, _ := runMain(t, "astar", "-grid", "24", "-obstacles", "0.2",
+		"-threads", "1,2", "-impls", "onebeta75", "-reps", "1", "-seed", "5",
+		"-verify", "-json")
+	var rep bench.Report
+	if err := json.Unmarshal([]byte(stdout), &rep); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, stdout)
+	}
+	if rep.Command != "astar" || len(rep.Rows) != 2 {
+		t.Fatalf("report: %+v", rep)
+	}
+	for _, row := range rep.Rows {
+		if row.Impl != "onebeta75" || row.Millis <= 0 || row.Expanded <= 0 ||
+			row.SeqExpanded <= 0 || row.PathCost == 0 {
+			t.Errorf("astar row incomplete: %+v", row)
+		}
+		if row.Queues < 4 || row.Beta == nil || *row.Beta != 0.75 {
+			t.Errorf("astar topology missing: %+v", row)
+		}
+	}
+}
+
+func TestJobsJSONPerClassRows(t *testing.T) {
+	stdout, _ := runMain(t, "jobs", "-jobs", "6000", "-classes", "3",
+		"-service", "2", "-threads", "2", "-impls", "multiqueue", "-seed", "9", "-json")
+	var rep bench.Report
+	if err := json.Unmarshal([]byte(stdout), &rep); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, stdout)
+	}
+	if rep.Command != "jobs" || len(rep.Rows) != 1+3 {
+		t.Fatalf("want 1 summary + 3 class rows: %+v", rep.Rows)
+	}
+	sum := rep.Rows[0]
+	if sum.Class != nil || sum.Jobs != 6000 || sum.Millis <= 0 || sum.MJobs <= 0 {
+		t.Errorf("summary row: %+v", sum)
+	}
+	var classJobs int64
+	for i, row := range rep.Rows[1:] {
+		if row.Class == nil || *row.Class != i {
+			t.Fatalf("class row %d: %+v", i, row)
+		}
+		if row.Jobs <= 0 || row.P99Ms < row.P50Ms {
+			t.Errorf("class row %d latencies: %+v", i, row)
+		}
+		classJobs += row.Jobs
+	}
+	if classJobs != 6000 {
+		t.Errorf("per-class jobs sum %d, want 6000", classJobs)
+	}
+}
+
 func TestRankDefaultsToFullLineup(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs the whole line-up")

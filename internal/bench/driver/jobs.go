@@ -1,0 +1,84 @@
+package driver
+
+import (
+	"flag"
+	"fmt"
+	"io"
+
+	"powerchoice/internal/bench"
+	"powerchoice/internal/jobs"
+	"powerchoice/internal/pqadapt"
+)
+
+// runJobs drains a priority job-server workload over the line-up: jobs with
+// priority classes and service times, P workers sharing the queue as the
+// scheduler. It reports priority-inversion counts and per-class completion
+// latency percentiles — the scheduling-quality face of the paper's rank
+// bound. The JSON report carries one summary row per (impl, threads) plus
+// one row per priority class.
+func runJobs(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("powerbench jobs", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	nJobs := fs.Int("jobs", 1_000_000, "jobs drained per configuration")
+	classes := fs.Int("classes", 8, "priority classes (0 = most urgent)")
+	service := fs.Int("service", 64, "mean simulated service time in spin units")
+	threadsFlag := fs.String("threads", defaultThreads(), "comma-separated thread counts")
+	implsFlag := fs.String("impls", allImpls(), "comma-separated implementations")
+	queues := fs.Int("queues", 0, "pin the MultiQueue queue count (0 = derive from the host)")
+	seed := fs.Uint64("seed", 42, "root random seed")
+	var out output
+	out.addFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	w, err := jobs.Generate(jobs.Spec{
+		Jobs: *nJobs, Classes: *classes, ServiceMean: *service, Seed: *seed,
+	})
+	if err != nil {
+		return err
+	}
+	threads, err := parseInts(*threadsFlag)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "job server: %d jobs, %d classes, mean service %d spin units\n",
+		*nJobs, *classes, *service)
+
+	tb := bench.NewTable("impl", "threads", "class", "jobs", "p50_ms", "p99_ms", "inversions")
+	rep := bench.NewReport("jobs", *seed)
+	for _, impl := range splitList(*implsFlag) {
+		for _, th := range threads {
+			res, err := bench.Jobs(bench.JobsSpec{
+				Impl:     pqadapt.Impl(impl),
+				Queues:   *queues,
+				Workload: w,
+				Threads:  th,
+				Seed:     *seed,
+			})
+			if err != nil {
+				return err
+			}
+			ms := float64(res.Elapsed.Microseconds()) / 1000
+			tb.AddRow(impl, th, "all", *nJobs, "", "", res.Inversions)
+			sum := bench.Row{
+				Impl: impl, Threads: th, Millis: ms, MJobs: res.MJobs,
+				Jobs: int64(*nJobs), Inversions: res.Inversions, InvWaiting: res.InvWaiting,
+			}
+			sum.SetTopology(res.Topology)
+			rep.Add(sum)
+			for _, cs := range res.PerClass {
+				cs := cs
+				tb.AddRow(impl, th, cs.Class, cs.Jobs, cs.P50Ms, cs.P99Ms, "")
+				row := bench.Row{
+					Impl: impl, Threads: th, Class: &cs.Class,
+					Jobs: cs.Jobs, P50Ms: cs.P50Ms, P99Ms: cs.P99Ms,
+				}
+				row.SetTopology(res.Topology)
+				rep.Add(row)
+			}
+			fmt.Fprintf(stderr, "done: %-12s threads=%-3d %v (%d inversions)\n",
+				impl, th, res.Elapsed, res.Inversions)
+		}
+	}
+	return out.emit(stdout, tb, rep)
+}

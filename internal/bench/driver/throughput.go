@@ -34,7 +34,7 @@ func runThroughput(args []string, stdout, stderr io.Writer) error {
 	if *reps < 1 {
 		*reps = 1
 	}
-	tb := bench.NewTable("impl", "threads", "mops", "ops")
+	tb := bench.NewTable("impl", "threads", "mops", "ops", "empty_pops")
 	rep := bench.NewReport("throughput", *seed)
 	for _, impl := range splitList(*implsFlag) {
 		for _, th := range threads {
@@ -55,8 +55,11 @@ func runThroughput(args []string, stdout, stderr io.Writer) error {
 					best = one
 				}
 			}
-			tb.AddRow(impl, th, best.MOps, best.Ops)
-			row := bench.Row{Impl: impl, Threads: th, MOps: best.MOps, Ops: best.Ops}
+			tb.AddRow(impl, th, best.MOps, best.Ops, best.EmptyPops)
+			row := bench.Row{
+				Impl: impl, Threads: th,
+				MOps: best.MOps, Ops: best.Ops, EmptyPops: best.EmptyPops,
+			}
 			row.SetTopology(best.Topology)
 			rep.Add(row)
 			fmt.Fprintf(stderr, "done: %-12s threads=%-3d %.3f Mops/s\n", impl, th, best.MOps)

@@ -50,9 +50,13 @@ type Row struct {
 	// Threads is the worker count of the measurement.
 	Threads int `json:"threads,omitempty"`
 
-	// Throughput metrics (powerbench throughput).
-	MOps float64 `json:"mops,omitempty"`
-	Ops  int64   `json:"ops,omitempty"`
+	// Throughput metrics (powerbench throughput). Ops counts completed
+	// operations only; EmptyPops reports failed pops separately (they were
+	// wrongly folded into Ops before PR 2 — see EXPERIMENTS.md on
+	// comparability with earlier BENCH_*.json files).
+	MOps      float64 `json:"mops,omitempty"`
+	Ops       int64   `json:"ops,omitempty"`
+	EmptyPops int64   `json:"empty_pops,omitempty"`
 
 	// Rank-quality metrics (powerbench rank / sweep).
 	MeanRank float64 `json:"mean_rank,omitempty"`
@@ -61,10 +65,28 @@ type Row struct {
 	MaxRank  float64 `json:"max_rank,omitempty"`
 	Removals int     `json:"removals,omitempty"`
 
-	// SSSP metrics (powerbench sssp).
+	// SSSP and A* metrics (powerbench sssp / astar). WastedPops counts
+	// stale or pruned pops, the wasted work of relaxation.
 	Millis     float64 `json:"ms,omitempty"`
 	Speedup    float64 `json:"speedup_vs_seq,omitempty"`
 	WastedPops int64   `json:"wasted_pops,omitempty"`
+
+	// A*-only metrics (powerbench astar): nodes expanded by the parallel
+	// search vs the sequential baseline, and the path cost found.
+	Expanded    int64  `json:"expanded,omitempty"`
+	SeqExpanded int64  `json:"seq_expanded,omitempty"`
+	PathCost    uint64 `json:"path_cost,omitempty"`
+
+	// Job-server metrics (powerbench jobs). Class is a pointer so that
+	// class 0 — the most urgent — survives serialisation; summary rows
+	// leave it nil. Latency percentiles are milliseconds from drain start.
+	Class      *int    `json:"class,omitempty"`
+	Jobs       int64   `json:"jobs,omitempty"`
+	MJobs      float64 `json:"mjobs,omitempty"`
+	Inversions int64   `json:"inversions,omitempty"`
+	InvWaiting int64   `json:"inv_waiting,omitempty"`
+	P50Ms      float64 `json:"p50_ms,omitempty"`
+	P99Ms      float64 `json:"p99_ms,omitempty"`
 }
 
 // SetTopology copies a resolved topology into the row.

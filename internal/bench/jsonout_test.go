@@ -15,6 +15,7 @@ import (
 var updateGolden = flag.Bool("update", false, "rewrite golden files")
 
 func floatPtr(f float64) *float64 { return &f }
+func intPtr(i int) *int           { return &i }
 
 // pinnedReport is a fully specified report — host included — so its JSON
 // rendering is byte-identical on every machine.
@@ -43,6 +44,30 @@ func pinnedReport() *Report {
 			{
 				Impl: "skiplist", Threads: 8, MeanRank: 1, P50: 1, P99: 1,
 				MaxRank: 2, Removals: 4096,
+			},
+			// A throughput row with the post-accounting-fix shape: Ops
+			// counts successes only, EmptyPops is surfaced separately.
+			{
+				Impl: "multiqueue", Beta: floatPtr(1), Queues: 8, Choices: 2,
+				Threads: 4, MOps: 9.125, Ops: 4_550_000, EmptyPops: 17,
+			},
+			// An astar row: expansion counts vs the sequential baseline.
+			{
+				Impl: "onebeta75", Beta: floatPtr(0.75), Queues: 8, Choices: 2,
+				Threads: 4, Millis: 12.5, Expanded: 5000, SeqExpanded: 4200,
+				WastedPops: 310, PathCost: 676,
+			},
+			// A jobs summary row and a per-class row; Class is a pointer
+			// exactly so that class 0 is distinguishable from absent.
+			{
+				Impl: "multiqueue", Beta: floatPtr(1), Queues: 8, Choices: 2,
+				Threads: 4, Millis: 80.25, MJobs: 1.25, Jobs: 100_000,
+				Inversions: 4321, InvWaiting: 9876,
+			},
+			{
+				Impl: "multiqueue", Beta: floatPtr(1), Queues: 8, Choices: 2,
+				Threads: 4, Class: intPtr(0), Jobs: 12_500, P50Ms: 2.125,
+				P99Ms: 13.75,
 			},
 		},
 	}
@@ -90,6 +115,12 @@ func TestReportRoundTrip(t *testing.T) {
 	last := out.Rows[len(out.Rows)-1]
 	if last.Beta == nil || *last.Beta != 0 {
 		t.Errorf("β = 0 did not survive the round trip: %+v", last)
+	}
+	// The class-0 jobs row must keep its class through the trip for the
+	// same reason β = 0 must.
+	classRow := out.Rows[len(out.Rows)-2]
+	if classRow.Class == nil || *classRow.Class != 0 {
+		t.Errorf("class 0 did not survive the round trip: %+v", classRow)
 	}
 }
 

@@ -39,8 +39,15 @@ type ThroughputSpec struct {
 
 // ThroughputResult reports one throughput measurement.
 type ThroughputResult struct {
-	// Ops counts completed operations (inserts + deletes) across workers.
+	// Ops counts completed operations (inserts + successful deletes)
+	// across workers. Failed pops are NOT counted — they used to be, which
+	// inflated MOps whenever Prefill was small enough for workers to race
+	// the queue empty (see EmptyPops).
 	Ops int64
+	// EmptyPops counts DeleteMin calls that returned ok=false: attempts,
+	// not completed work. Near zero in the paper's never-empty regime; a
+	// large value flags a measurement outside that regime.
+	EmptyPops int64
 	// Elapsed is the measured wall time.
 	Elapsed time.Duration
 	// MOps is throughput in million operations per second.
@@ -51,8 +58,9 @@ type ThroughputResult struct {
 
 // paddedCount keeps per-worker counters on separate cache lines.
 type paddedCount struct {
-	n int64
-	_ [56]byte
+	n     int64
+	empty int64
+	_     [48]byte
 }
 
 // Throughput runs alternating insert / deleteMin pairs on the chosen
@@ -92,30 +100,37 @@ func Throughput(spec ThroughputSpec) (ThroughputResult, error) {
 				view = wl.Local()
 			}
 			rng := sh.Source(w)
-			var local int64
+			var local, empty int64
 			for !stop.Load() {
 				for i := 0; i < 32; i++ {
 					view.Insert(rng.Uint64()>>1, int32(i))
-					view.DeleteMin()
-					local += 2
+					local++
+					if _, _, ok := view.DeleteMin(); ok {
+						local++
+					} else {
+						empty++
+					}
 				}
 				if time.Now().After(deadline) {
 					stop.Store(true)
 				}
 			}
 			counts[w].n = local
+			counts[w].empty = empty
 		}(w)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
-	var total int64
+	var total, empty int64
 	for i := range counts {
 		total += counts[i].n
+		empty += counts[i].empty
 	}
 	return ThroughputResult{
-		Ops:      total,
-		Elapsed:  elapsed,
-		MOps:     float64(total) / elapsed.Seconds() / 1e6,
-		Topology: topology,
+		Ops:       total,
+		EmptyPops: empty,
+		Elapsed:   elapsed,
+		MOps:      float64(total) / elapsed.Seconds() / 1e6,
+		Topology:  topology,
 	}, nil
 }

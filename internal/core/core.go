@@ -55,15 +55,23 @@ type MultiQueue[V any] struct {
 }
 
 // lockedQueue is one sequential heap with its try-lock, cached top, and
-// element count, padded out to its own cache lines so queue hot words do
-// not false-share. top and count are written only under lock and read
-// without it.
+// element count, padded out to its own pair of cache lines so queue hot
+// words do not false-share. top and count are written only under lock and
+// read without it.
+//
+// The payload is 40 bytes (lock 4 + align 4, top 8, count 8, heap
+// interface 16); the pad brings the size to 128 — a multiple of two 64-byte
+// cache lines, so adjacent mq.queues elements never share a line and the
+// adjacent-line prefetcher cannot couple them either. A 72-byte version of
+// this struct once left every element straddling lines with its neighbours
+// despite this comment claiming otherwise; TestLockedQueuePaddedToCacheLinePair
+// pins the layout.
 type lockedQueue[V any] struct {
 	lock  spinLock
 	top   atomicUint64 // cached minimum key, emptyTop when empty
 	count atomicInt64  // cached heap length
 	heap  pqueue.Queue[V]
-	_     [32]byte // pad struct past a cache line boundary
+	_     [88]byte // pad the 40-byte payload to 128 bytes
 }
 
 // Config reports the topology and parameters a MultiQueue actually resolved

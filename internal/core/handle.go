@@ -118,17 +118,25 @@ func (h *Handle[V]) DeleteMin() (uint64, V, bool) {
 		return h.deleteMinAtomic()
 	}
 	// Sticky fast path: keep draining the last successful queue while the
-	// streak lasts, it has elements, and its lock is free.
+	// streak lasts, it has elements, and its lock is free. Any obstacle
+	// breaks the streak, and the obstacle is accounted exactly as on the
+	// slow path: a failed TryLock is a lockFail, a pop that finds the heap
+	// drained behind a stale cached top is an emptyScan.
 	if h.delLeft > 0 && h.stickyDel != nil {
 		q := h.stickyDel
-		if q.top.Load() != emptyTop && q.lock.TryLock() {
-			it, ok := q.heap.PopMin()
-			q.refreshTop()
-			q.lock.Unlock()
-			if ok {
-				h.delLeft--
-				h.deletes++
-				return it.Key, it.Value, true
+		if q.top.Load() != emptyTop {
+			if q.lock.TryLock() {
+				it, ok := q.heap.PopMin()
+				q.refreshTop()
+				q.lock.Unlock()
+				if ok {
+					h.delLeft--
+					h.deletes++
+					return it.Key, it.Value, true
+				}
+				h.emptyScans++
+			} else {
+				h.lockFails++
 			}
 		}
 		h.delLeft = 0

@@ -1,0 +1,33 @@
+package core
+
+import (
+	"testing"
+	"unsafe"
+)
+
+// TestLockedQueuePaddedToCacheLinePair: each element of mq.queues must
+// occupy its own 128-byte multiple — two cache lines, so neither direct
+// false sharing nor the adjacent-cache-line prefetcher couples neighbouring
+// queues' hot words (lock, cached top, count). The size cannot depend on
+// the value type: V only appears behind the heap interface.
+func TestLockedQueuePaddedToCacheLinePair(t *testing.T) {
+	sizes := map[string]uintptr{
+		"int":    unsafe.Sizeof(lockedQueue[int]{}),
+		"string": unsafe.Sizeof(lockedQueue[string]{}),
+		"struct": unsafe.Sizeof(lockedQueue[[3]uint64]{}),
+	}
+	for v, sz := range sizes {
+		if sz == 0 || sz%128 != 0 {
+			t.Errorf("lockedQueue[%s] is %d bytes, want a non-zero multiple of 128", v, sz)
+		}
+		if sz != 128 {
+			t.Errorf("lockedQueue[%s] is %d bytes; payload grew past one 128-byte unit — shrink the pad, don't spill into a second unit silently", v, sz)
+		}
+	}
+	// The hot words themselves must sit inside the first cache line, ahead
+	// of the pad.
+	var q lockedQueue[int]
+	if off := unsafe.Offsetof(q.count); off+8 > 64 {
+		t.Errorf("hot words spill past the first cache line (count ends at %d)", off+8)
+	}
+}

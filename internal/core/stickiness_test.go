@@ -84,6 +84,69 @@ func TestStickyInsertsLandOnOneQueue(t *testing.T) {
 	}
 }
 
+// TestStickyDeleteCountsLockFail: a sticky DeleteMin that loses the
+// try-lock on its remembered queue must count a lockFail, exactly like the
+// slow path (the fast path silently swallowed it before).
+func TestStickyDeleteCountsLockFail(t *testing.T) {
+	mq := mustNew[int](t, WithQueues(4), WithStickiness(16), WithSeed(41))
+	h := mq.Handle()
+	// Element in queue 0 (held) and queue 1 (free) so the slow path can
+	// finish the operation after the sticky path fails.
+	mq.queues[0].heap.Push(7, 7)
+	mq.queues[0].refreshTop()
+	mq.queues[1].heap.Push(9, 9)
+	mq.queues[1].refreshTop()
+	// Arm a delete streak on queue 0, then contend its lock.
+	h.stickyDel = &mq.queues[0]
+	h.delLeft = 5
+	if !mq.queues[0].lock.TryLock() {
+		t.Fatal("could not take queue 0's lock")
+	}
+	defer mq.queues[0].lock.Unlock()
+	before := h.Stats()
+	if _, _, ok := h.DeleteMin(); !ok {
+		t.Fatal("DeleteMin failed with an element available")
+	}
+	after := h.Stats()
+	if after.LockFails <= before.LockFails {
+		t.Errorf("sticky try-lock failure not counted: lockFails %d -> %d",
+			before.LockFails, after.LockFails)
+	}
+	// The old streak must be gone; the successful slow-path pop re-arms
+	// stickiness on the queue it actually drained.
+	if h.stickyDel == &mq.queues[0] {
+		t.Error("streak not broken by the failed try-lock")
+	}
+}
+
+// TestStickyDeleteCountsEmptyScan: a sticky DeleteMin whose remembered
+// queue turns out drained behind a stale cached top must count an
+// emptyScan, exactly like the slow path's drained-queue retry.
+func TestStickyDeleteCountsEmptyScan(t *testing.T) {
+	mq := mustNew[int](t, WithQueues(4), WithStickiness(16), WithSeed(43))
+	h := mq.Handle()
+	// Queue 0: empty heap behind a stale non-empty cached top — the state
+	// a concurrent drainer leaves between the unsynchronised top read and
+	// the lock acquisition. Queue 1 holds a real element.
+	mq.queues[0].top.Store(3)
+	mq.queues[1].heap.Push(9, 9)
+	mq.queues[1].refreshTop()
+	h.stickyDel = &mq.queues[0]
+	h.delLeft = 5
+	before := h.Stats()
+	if _, _, ok := h.DeleteMin(); !ok {
+		t.Fatal("DeleteMin failed with an element available")
+	}
+	after := h.Stats()
+	if after.EmptyScans <= before.EmptyScans {
+		t.Errorf("sticky empty pop not counted: emptyScans %d -> %d",
+			before.EmptyScans, after.EmptyScans)
+	}
+	if h.stickyDel == &mq.queues[0] {
+		t.Error("streak not broken by the empty pop")
+	}
+}
+
 // TestStickyDeletesDegradeRankModestly: stickiness trades rank quality for
 // locality; the degradation must exist but stay bounded (the streak length
 // caps the extra inversions).

@@ -3,11 +3,10 @@ package graph
 import (
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
 	"sync/atomic"
 
 	"powerchoice/internal/pqueue"
+	"powerchoice/internal/sched"
 )
 
 // Inf is the distance of unreachable nodes.
@@ -50,18 +49,15 @@ func Dijkstra(g *Graph, src int) ([]uint64, error) {
 
 // ConcurrentPQ is the queue interface the parallel SSSP driver requires.
 // Implementations are adapters over the MultiQueue, the skiplist, the
-// k-LSM, or a global-lock heap. Values carry the node ID.
-type ConcurrentPQ interface {
-	Insert(key uint64, node int32)
-	DeleteMin() (uint64, int32, bool)
-}
+// k-LSM, or a global-lock heap. Values carry the node ID. It is an alias of
+// the generic executor's queue interface, so every adapter usable here runs
+// any sched workload (A*, the job server) unchanged.
+type ConcurrentPQ = sched.Queue[int32]
 
 // WorkerLocal is implemented by queues whose hot paths want a per-goroutine
-// view (e.g. MultiQueue and k-LSM handles). ParallelSSSP calls Local once in
+// view (e.g. MultiQueue and k-LSM handles). The executor calls Local once in
 // each worker goroutine when available.
-type WorkerLocal interface {
-	Local() ConcurrentPQ
-}
+type WorkerLocal = sched.WorkerLocal[int32]
 
 // SSSPStats reports work counters from a parallel SSSP run.
 type SSSPStats struct {
@@ -77,88 +73,48 @@ type SSSPStats struct {
 // paper's Figure 3. Distances converge to the exact values regardless of
 // the queue's relaxation because stale entries are re-checked against an
 // atomic best-distance array (label-correcting execution); relaxed queues
-// trade extra wasted pops for reduced queue contention.
+// trade extra wasted pops for reduced queue contention. The worker loop
+// itself — termination detection, idle backoff, wasted-work accounting —
+// is the generic sched executor; this function only defines the task.
 func ParallelSSSP(g *Graph, src int, pq ConcurrentPQ, workers int) ([]uint64, SSSPStats, error) {
 	n := g.NumNodes()
 	if src < 0 || src >= n {
 		return nil, SSSPStats{}, fmt.Errorf("graph: source %d outside [0,%d)", src, n)
-	}
-	if workers < 1 {
-		workers = 1
 	}
 	dist := make([]atomic.Uint64, n)
 	for i := range dist {
 		dist[i].Store(Inf)
 	}
 	dist[src].Store(0)
-	// pending counts queue entries not yet fully processed; the run is done
-	// when it reaches zero. Incremented before each Insert, decremented
-	// after the popped entry is handled.
-	var pending atomic.Int64
-	pending.Add(1)
-	pq.Insert(0, int32(src))
 
-	var relaxations, wastedPops atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			view := pq
-			if wl, ok := pq.(WorkerLocal); ok {
-				view = wl.Local()
-			}
-			var localRelax, localWaste int64
-			idleSpins := 0
+	task := func(key uint64, u int32, push func(uint64, int32)) bool {
+		if key > dist[u].Load() {
+			return false // stale: a shorter path to u was already settled
+		}
+		tgts, ws := g.Neighbors(int(u))
+		for i, v := range tgts {
+			nd := key + uint64(ws[i])
 			for {
-				if pending.Load() == 0 {
+				cur := dist[v].Load()
+				if nd >= cur {
 					break
 				}
-				key, u, ok := view.DeleteMin()
-				if !ok {
-					// Queue momentarily empty while other workers still
-					// process entries that may spawn new ones.
-					idleSpins++
-					if idleSpins%8 == 7 {
-						runtime.Gosched()
-					}
-					continue
+				if dist[v].CompareAndSwap(cur, nd) {
+					push(nd, v)
+					break
 				}
-				idleSpins = 0
-				if key > dist[u].Load() {
-					localWaste++
-					pending.Add(-1)
-					continue
-				}
-				tgts, ws := g.Neighbors(int(u))
-				for i, v := range tgts {
-					nd := key + uint64(ws[i])
-					for {
-						cur := dist[v].Load()
-						if nd >= cur {
-							break
-						}
-						if dist[v].CompareAndSwap(cur, nd) {
-							localRelax++
-							pending.Add(1)
-							view.Insert(nd, v)
-							break
-						}
-					}
-				}
-				pending.Add(-1)
 			}
-			relaxations.Add(localRelax)
-			wastedPops.Add(localWaste)
-		}()
+		}
+		return true
 	}
-	wg.Wait()
+	st := sched.Run(pq, workers, task, sched.Item[int32]{Key: 0, Value: int32(src)})
+
 	out := make([]uint64, n)
 	for i := range out {
 		out[i] = dist[i].Load()
 	}
 	return out, SSSPStats{
-		Relaxations: relaxations.Add(0),
-		WastedPops:  wastedPops.Add(0),
+		Relaxations: st.Pushed,
+		WastedPops:  st.Stale,
 	}, nil
 }

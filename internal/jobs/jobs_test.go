@@ -1,0 +1,110 @@
+package jobs
+
+import (
+	"testing"
+
+	"powerchoice/internal/pqadapt"
+)
+
+func TestGenerateValidates(t *testing.T) {
+	if _, err := Generate(Spec{Jobs: 0, Classes: 4}); err == nil {
+		t.Error("0 jobs accepted")
+	}
+	if _, err := Generate(Spec{Jobs: 10, Classes: 0}); err == nil {
+		t.Error("0 classes accepted")
+	}
+	if _, err := Generate(Spec{Jobs: 10, Classes: 300}); err == nil {
+		t.Error("300 classes accepted")
+	}
+	w, err := Generate(Spec{Jobs: 1000, Classes: 4, ServiceMean: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range w.Class {
+		if int(w.Class[i]) >= 4 {
+			t.Fatalf("job %d class %d", i, w.Class[i])
+		}
+		if w.Service[i] < 1 {
+			t.Fatalf("job %d service %d", i, w.Service[i])
+		}
+	}
+}
+
+// TestKeyOrdering: keys sort by class first, submission order second.
+func TestKeyOrdering(t *testing.T) {
+	w := &Workload{
+		Spec:    Spec{Jobs: 4, Classes: 3},
+		Class:   []uint8{2, 0, 1, 0},
+		Service: []uint32{1, 1, 1, 1},
+	}
+	if !(w.Key(1) < w.Key(3) && w.Key(3) < w.Key(2) && w.Key(2) < w.Key(0)) {
+		t.Fatalf("key ordering broken: %v %v %v %v", w.Key(0), w.Key(1), w.Key(2), w.Key(3))
+	}
+}
+
+// TestRunDrainsEveryJobAllImpls: every implementation serves each job
+// exactly once and reports well-formed per-class stats.
+func TestRunDrainsEveryJobAllImpls(t *testing.T) {
+	n := 20000
+	if testing.Short() {
+		n = 4000
+	}
+	w, err := Generate(Spec{Jobs: n, Classes: 4, ServiceMean: 4, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, impl := range pqadapt.Impls() {
+		impl := impl
+		t.Run(string(impl), func(t *testing.T) {
+			q, err := pqadapt.New(impl, 17)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := Run(w, q, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Stats.Processed != int64(n) || res.Stats.Stale != 0 {
+				t.Fatalf("processed %d stale %d, want %d / 0", res.Stats.Processed, res.Stats.Stale, n)
+			}
+			var total int64
+			for c, cs := range res.PerClass {
+				if cs.Class != c {
+					t.Fatalf("class order: %+v", res.PerClass)
+				}
+				if cs.Jobs > 0 && (cs.P99Ms < cs.P50Ms || cs.MeanMs <= 0) {
+					t.Fatalf("class %d latencies malformed: %+v", c, cs)
+				}
+				total += cs.Jobs
+			}
+			if total != int64(n) {
+				t.Fatalf("per-class jobs sum %d, want %d", total, n)
+			}
+		})
+	}
+}
+
+// TestExactQueueSingleWorkerHasNoInversions: with an exact queue and one
+// worker, service order is strict priority order, so no job is ever served
+// while a higher-priority one waits.
+func TestExactQueueSingleWorkerHasNoInversions(t *testing.T) {
+	w, err := Generate(Spec{Jobs: 5000, Classes: 8, ServiceMean: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := pqadapt.New(pqadapt.ImplGlobalLock, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(w, q, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inversions != 0 || res.InvWaiting != 0 {
+		t.Fatalf("exact single-worker drain reported %d inversions (waiting %d)",
+			res.Inversions, res.InvWaiting)
+	}
+	if _, err := Run(w, nil, 1); err == nil {
+		t.Error("nil queue accepted")
+	}
+}

@@ -1,0 +1,143 @@
+// Package sched is the generic relaxed-scheduling executor behind the
+// repository's scheduling workloads (parallel SSSP, A*, branch-and-bound,
+// the priority job-server). It factors out the worker-loop skeleton those
+// workloads share — pending-counter termination detection, per-goroutine
+// queue-view resolution, idle backoff, and wasted-work accounting — so each
+// workload reduces to a Task: pop a (key, item), possibly discard it as
+// stale, possibly push successors.
+//
+// This is the execution pattern the paper's Figure 3 argument rests on:
+// label-correcting workloads tolerate a relaxed pop order because stale
+// entries are re-checked against workload state, so a relaxed queue trades a
+// bounded amount of wasted work (Stats.Stale, bounded via the paper's rank
+// bounds) for contention-free scaling.
+package sched
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Queue is the concurrent priority queue interface the executor requires:
+// smaller keys pop first, but the order may be relaxed. DeleteMin's ok=false
+// may be a relaxed emptiness verdict (in-flight inserts can be missed, as in
+// core.MultiQueue and the k-LSM); the executor therefore never treats a
+// failed pop as termination — only the pending counter decides that.
+type Queue[V any] interface {
+	Insert(key uint64, value V)
+	DeleteMin() (key uint64, value V, ok bool)
+}
+
+// WorkerLocal is implemented by queues whose hot paths want a per-goroutine
+// view (e.g. MultiQueue handles and k-LSM handles). Run calls Local once in
+// each worker goroutine when available.
+type WorkerLocal[V any] interface {
+	Local() Queue[V]
+}
+
+// Item is one (key, value) work unit.
+type Item[V any] struct {
+	Key   uint64
+	Value V
+}
+
+// Task processes one popped entry. It may discard the entry as stale
+// (return false — counted in Stats.Stale, the relaxation's wasted work) and
+// may push successors through push, which handles the pending accounting.
+// Tasks run concurrently on all workers and must synchronise any shared
+// workload state themselves (atomics, as in the SSSP distance array).
+type Task[V any] func(key uint64, value V, push func(key uint64, value V)) bool
+
+// Stats reports the executor's work counters.
+type Stats struct {
+	// Processed counts popped entries the task accepted.
+	Processed int64
+	// Stale counts popped entries the task discarded — the "extra work"
+	// cost of relaxation the paper's §6 discussion asks about.
+	Stale int64
+	// Pushed counts successors pushed by tasks (excluding seeds).
+	Pushed int64
+	// EmptyPops counts failed pops while other workers still held pending
+	// entries (idle spinning, not completed work).
+	EmptyPops int64
+}
+
+// Run seeds the queue with the given items and executes the task across
+// `workers` goroutines until every entry — seeds and pushed successors —
+// has been handled. It returns when the pending counter reaches zero, which
+// is exact regardless of the queue's relaxed emptiness.
+func Run[V any](q Queue[V], workers int, task Task[V], seeds ...Item[V]) Stats {
+	for _, s := range seeds {
+		q.Insert(s.Key, s.Value)
+	}
+	return RunPrefilled(q, workers, task, int64(len(seeds)))
+}
+
+// RunPrefilled is Run for a queue the caller already loaded with `preloaded`
+// entries, so that seeding (e.g. millions of job-server inserts) can happen
+// outside the caller's timed region.
+func RunPrefilled[V any](q Queue[V], workers int, task Task[V], preloaded int64) Stats {
+	if workers < 1 {
+		workers = 1
+	}
+	// pending counts queue entries not yet fully processed; the run is done
+	// when it reaches zero. Incremented before each push, decremented after
+	// the popped entry is handled.
+	var pending atomic.Int64
+	pending.Add(preloaded)
+
+	var processed, stale, pushed, emptyPops atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			view := q
+			if wl, ok := q.(WorkerLocal[V]); ok {
+				view = wl.Local()
+			}
+			var localProc, localStale, localPush, localEmpty int64
+			push := func(key uint64, value V) {
+				localPush++
+				pending.Add(1)
+				view.Insert(key, value)
+			}
+			idleSpins := 0
+			for {
+				if pending.Load() == 0 {
+					break
+				}
+				key, v, ok := view.DeleteMin()
+				if !ok {
+					// Queue momentarily (or relaxedly) empty while other
+					// workers still process entries that may spawn new ones.
+					localEmpty++
+					idleSpins++
+					if idleSpins%8 == 7 {
+						runtime.Gosched()
+					}
+					continue
+				}
+				idleSpins = 0
+				if task(key, v, push) {
+					localProc++
+				} else {
+					localStale++
+				}
+				pending.Add(-1)
+			}
+			processed.Add(localProc)
+			stale.Add(localStale)
+			pushed.Add(localPush)
+			emptyPops.Add(localEmpty)
+		}()
+	}
+	wg.Wait()
+	return Stats{
+		Processed: processed.Load(),
+		Stale:     stale.Load(),
+		Pushed:    pushed.Load(),
+		EmptyPops: emptyPops.Load(),
+	}
+}
