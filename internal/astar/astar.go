@@ -177,6 +177,16 @@ type Result struct {
 // f = g + h, with g recovered from the key via the deterministic heuristic
 // so entries stay a single (uint64, int32) pair.
 func Parallel(g *Grid, q sched.Queue[int32], workers int) (Result, error) {
+	return ParallelBatch(g, q, workers, 1)
+}
+
+// ParallelBatch is Parallel with the executor's batch size exposed (see
+// sched.Config.Batch). Batching is sound for A* exactly as relaxation is:
+// g-scores are label-correcting and the incumbent prune only ever discards
+// entries that cannot improve the goal cost, so entries delayed in
+// worker-local buffers cost extra stale pops, never optimality of the
+// returned cost.
+func ParallelBatch(g *Grid, q sched.Queue[int32], workers, batch int) (Result, error) {
 	if q == nil {
 		return Result{}, fmt.Errorf("astar: nil queue")
 	}
@@ -227,7 +237,7 @@ func Parallel(g *Grid, q sched.Queue[int32], workers int) (Result, error) {
 		})
 		return true
 	}
-	st := sched.Run(q, workers, task,
-		sched.Item[int32]{Key: g.Heuristic(g.Start), Value: g.Start})
+	q.Insert(g.Heuristic(g.Start), g.Start)
+	st := sched.RunConfig(q, sched.Config{Workers: workers, Batch: batch}, task, 1)
 	return Result{Cost: gs[g.Goal].Load(), Stats: st}, nil
 }

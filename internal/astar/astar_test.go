@@ -144,3 +144,32 @@ func TestParallelUnreachableGoal(t *testing.T) {
 		t.Error("nil queue accepted")
 	}
 }
+
+// TestParallelBatchMatchesSequential: the batched executor must preserve A*
+// optimality — entries delayed in worker-local batch buffers may only cost
+// stale pops, never the returned cost.
+func TestParallelBatchMatchesSequential(t *testing.T) {
+	g, err := NewGrid(40, 32, 0.25, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Sequential(g)
+	for _, impl := range []pqadapt.Impl{pqadapt.ImplOneBeta75, pqadapt.ImplKLSM} {
+		impl := impl
+		t.Run(string(impl), func(t *testing.T) {
+			for _, batch := range []int{4, 16} {
+				q, err := pqadapt.New(impl, 19)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := ParallelBatch(g, q, 4, batch)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Cost != want.Cost {
+					t.Fatalf("batch=%d: cost %d, want %d", batch, res.Cost, want.Cost)
+				}
+			}
+		})
+	}
+}

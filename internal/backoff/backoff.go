@@ -1,0 +1,62 @@
+// Package backoff provides the shared retry backoff for the repository's
+// spin loops: the MultiQueue's try-lock retries (internal/core) and the
+// executor's idle loop (internal/sched) previously each hand-rolled a
+// "yield every Nth failure" pattern, and the three copies had started to
+// drift. The policy here is the standard two-phase one: a short busy-wait
+// that doubles per failure (procyield-style — cheap, keeps the goroutine on
+// its P while the conflict is transient), then an unconditional
+// runtime.Gosched per failure so spinners can never starve the lock holder
+// when GOMAXPROCS is small (the CI GOMAXPROCS=1 leg exercises exactly that).
+package backoff
+
+import "runtime"
+
+const (
+	// maxPauseShift caps the busy-wait at 1<<maxPauseShift iterations —
+	// roughly the cost of a handful of cache misses, long enough to ride out
+	// a heap sift under the contended lock, short enough to stay negligible
+	// when the retry succeeds immediately.
+	maxPauseShift = 6
+	// yieldAfter is the failure count at which the spinner stops trusting
+	// the conflict to be transient and starts yielding the processor on
+	// every further failure.
+	yieldAfter = 8
+)
+
+// Spinner is a per-attempt exponential backoff. The zero value is ready to
+// use; it is not safe for concurrent use (each retry loop owns one).
+// Allocation-free: hot paths keep one on the stack per operation.
+type Spinner struct {
+	fails uint32
+}
+
+// Spin records one failure and backs off: exponentially longer busy-waits
+// for the first few failures, then a scheduler yield per failure.
+func (s *Spinner) Spin() {
+	s.fails++
+	if s.fails <= yieldAfter {
+		shift := s.fails
+		if shift > maxPauseShift {
+			shift = maxPauseShift
+		}
+		pause(1 << shift)
+		return
+	}
+	runtime.Gosched()
+}
+
+// Reset forgets past failures, returning the spinner to the cheap busy-wait
+// phase. Call it after the contended resource was successfully acquired.
+func (s *Spinner) Reset() { s.fails = 0 }
+
+// pause busy-waits for roughly n cheap iterations. Go has no portable
+// PAUSE/YIELD intrinsic; an empty counted loop is the established
+// substitute (the compiler does not eliminate empty loops), and noinline
+// keeps the loop from being folded into — and reordered within — the
+// caller's retry logic.
+//
+//go:noinline
+func pause(n uint32) {
+	for i := uint32(0); i < n; i++ {
+	}
+}

@@ -19,6 +19,8 @@ type AStarSpec struct {
 	Grid *astar.Grid
 	// Threads is the worker count.
 	Threads int
+	// Batch is the executor's bulk-operation size k (0 or 1 = unbatched).
+	Batch int
 	// Seed fixes queue randomness.
 	Seed uint64
 	// Verify, when set, checks the path cost against sequential A*.
@@ -62,7 +64,7 @@ func AStar(spec AStarSpec) (AStarResult, error) {
 		seq = astar.Sequential(spec.Grid)
 	}
 	start := time.Now()
-	res, err := astar.Parallel(spec.Grid, q, spec.Threads)
+	res, err := astar.ParallelBatch(spec.Grid, q, spec.Threads, spec.Batch)
 	elapsed := time.Since(start)
 	if err != nil {
 		return AStarResult{}, err

@@ -22,6 +22,7 @@ func runAStar(args []string, stdout, stderr io.Writer) error {
 	threadsFlag := fs.String("threads", defaultThreads(), "comma-separated thread counts")
 	implsFlag := fs.String("impls", allImpls(), "comma-separated implementations")
 	queues := fs.Int("queues", 0, "pin the MultiQueue queue count (0 = derive from the host)")
+	batch := fs.Int("batch", 0, "executor bulk-operation size k (0/1 = unbatched)")
 	reps := fs.Int("reps", 3, "repetitions per configuration (best time reported)")
 	seed := fs.Uint64("seed", 42, "root random seed")
 	verify := fs.Bool("verify", false, "verify the path cost against sequential A*")
@@ -30,6 +31,7 @@ func runAStar(args []string, stdout, stderr io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	normalizeBatch(batch)
 	g, err := astar.NewGrid(*grid, *grid, *obstacles, *seed)
 	if err != nil {
 		return err
@@ -59,6 +61,7 @@ func runAStar(args []string, stdout, stderr io.Writer) error {
 					Queues:  *queues,
 					Grid:    g,
 					Threads: th,
+					Batch:   *batch,
 					Seed:    *seed + uint64(r),
 					Verify:  *verify,
 					Seq:     &seq,
@@ -74,7 +77,7 @@ func runAStar(args []string, stdout, stderr io.Writer) error {
 			overhead := float64(best.Expanded) / float64(best.SeqExpanded)
 			tb.AddRow(impl, th, ms, best.Expanded, best.WastedPops, overhead)
 			row := bench.Row{
-				Impl: impl, Threads: th, Millis: ms,
+				Impl: impl, Threads: th, Batch: *batch, Millis: ms,
 				Expanded: best.Expanded, SeqExpanded: best.SeqExpanded,
 				WastedPops: best.WastedPops, PathCost: best.Cost,
 			}

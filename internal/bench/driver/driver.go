@@ -135,6 +135,17 @@ func allImpls() string {
 	return strings.Join(parts, ",")
 }
 
+// normalizeBatch canonicalises a -batch flag value: batch ≤ 1 IS the
+// classic single-op loop (sched.RunConfig and every batch path treat them
+// identically), so it is recorded as 0 — absent in JSON — keeping such rows
+// comparable with the pre-batch BENCH_*.json history per the convention in
+// EXPERIMENTS.md.
+func normalizeBatch(batch *int) {
+	if *batch <= 1 {
+		*batch = 0
+	}
+}
+
 // splitList splits a comma-separated flag value, dropping empty items.
 func splitList(s string) []string {
 	var out []string

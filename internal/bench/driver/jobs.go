@@ -25,12 +25,14 @@ func runJobs(args []string, stdout, stderr io.Writer) error {
 	threadsFlag := fs.String("threads", defaultThreads(), "comma-separated thread counts")
 	implsFlag := fs.String("impls", allImpls(), "comma-separated implementations")
 	queues := fs.Int("queues", 0, "pin the MultiQueue queue count (0 = derive from the host)")
+	batch := fs.Int("batch", 0, "executor bulk-operation size k (0/1 = unbatched; adds bounded priority-inversion slack)")
 	seed := fs.Uint64("seed", 42, "root random seed")
 	var out output
 	out.addFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	normalizeBatch(batch)
 	w, err := jobs.Generate(jobs.Spec{
 		Jobs: *nJobs, Classes: *classes, ServiceMean: *service, Seed: *seed,
 	})
@@ -53,6 +55,7 @@ func runJobs(args []string, stdout, stderr io.Writer) error {
 				Queues:   *queues,
 				Workload: w,
 				Threads:  th,
+				Batch:    *batch,
 				Seed:     *seed,
 			})
 			if err != nil {
@@ -61,8 +64,9 @@ func runJobs(args []string, stdout, stderr io.Writer) error {
 			ms := float64(res.Elapsed.Microseconds()) / 1000
 			tb.AddRow(impl, th, "all", *nJobs, "", "", res.Inversions)
 			sum := bench.Row{
-				Impl: impl, Threads: th, Millis: ms, MJobs: res.MJobs,
+				Impl: impl, Threads: th, Batch: *batch, Millis: ms, MJobs: res.MJobs,
 				Jobs: int64(*nJobs), Inversions: res.Inversions, InvWaiting: res.InvWaiting,
+				BufferedPops: res.BufferedPops,
 			}
 			sum.SetTopology(res.Topology)
 			rep.Add(sum)

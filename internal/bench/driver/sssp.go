@@ -23,6 +23,7 @@ func runSSSP(args []string, stdout, stderr io.Writer) error {
 	threadsFlag := fs.String("threads", defaultThreads(), "comma-separated thread counts")
 	implsFlag := fs.String("impls", allImpls(), "comma-separated implementations")
 	queues := fs.Int("queues", 0, "pin the MultiQueue queue count (0 = derive from the host)")
+	batch := fs.Int("batch", 0, "executor bulk-operation size k (0/1 = unbatched)")
 	reps := fs.Int("reps", 3, "repetitions per configuration (best time reported)")
 	seed := fs.Uint64("seed", 42, "root random seed")
 	verify := fs.Bool("verify", false, "verify distances against sequential Dijkstra")
@@ -31,6 +32,7 @@ func runSSSP(args []string, stdout, stderr io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	normalizeBatch(batch)
 	g, err := graph.RoadNetwork(*grid, *grid, *diag, *seed)
 	if err != nil {
 		return err
@@ -63,6 +65,7 @@ func runSSSP(args []string, stdout, stderr io.Writer) error {
 					G:       g,
 					Source:  0,
 					Threads: th,
+					Batch:   *batch,
 					Seed:    *seed + uint64(r),
 					Verify:  *verify,
 				})
@@ -77,7 +80,7 @@ func runSSSP(args []string, stdout, stderr io.Writer) error {
 			speedup := seqTime.Seconds() / best.Elapsed.Seconds()
 			tb.AddRow(impl, th, ms, speedup, best.Stats.WastedPops)
 			row := bench.Row{
-				Impl: impl, Threads: th,
+				Impl: impl, Threads: th, Batch: *batch,
 				Millis: ms, Speedup: speedup, WastedPops: best.Stats.WastedPops,
 			}
 			row.SetTopology(best.Topology)

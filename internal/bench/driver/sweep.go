@@ -21,6 +21,7 @@ func runSweep(args []string, stdout, stderr io.Writer) error {
 	threads := fs.Int("threads", 8, "concurrent worker count (paper: 8)")
 	prefill := fs.Int("prefill", 1<<18, "initially inserted labels")
 	ops := fs.Int("ops", 1<<15, "delete+insert pairs per thread")
+	batch := fs.Int("batch", 0, "bulk-deletion size k (0/1 = single-op; ranks include the (k-1)*threads buffering slack)")
 	seed := fs.Uint64("seed", 42, "root random seed")
 	reps := fs.Int("reps", 3, "repetitions per configuration; the median-by-mean run is reported")
 	hist := fs.Bool("hist", false, "also print a rank histogram per β")
@@ -29,6 +30,7 @@ func runSweep(args []string, stdout, stderr io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	normalizeBatch(batch)
 	if *betasAlias != "" {
 		*betaFlag = *betasAlias
 	}
@@ -45,6 +47,7 @@ func runSweep(args []string, stdout, stderr io.Writer) error {
 			Threads:      *threads,
 			Prefill:      *prefill,
 			OpsPerThread: *ops,
+			Batch:        *batch,
 			Seed:         *seed,
 		}, *reps)
 		if err != nil {
@@ -52,7 +55,7 @@ func runSweep(args []string, stdout, stderr io.Writer) error {
 		}
 		tb.AddRow(beta, res.Mean, res.P50, res.P99, res.Max, res.Removals)
 		row := bench.Row{
-			Threads:  *threads,
+			Threads: *threads, Batch: *batch,
 			MeanRank: res.Mean, P50: res.P50, P99: res.P99,
 			MaxRank: res.Max, Removals: res.Removals,
 		}

@@ -20,6 +20,7 @@ func runThroughput(args []string, stdout, stderr io.Writer) error {
 	threadsFlag := fs.String("threads", defaultThreads(), "comma-separated thread counts")
 	implsFlag := fs.String("impls", allImpls(), "comma-separated implementations")
 	queues := fs.Int("queues", 0, "pin the MultiQueue queue count (0 = derive from the host)")
+	batch := fs.Int("batch", 0, "bulk-operation size k (0/1 = single-op loop; k elements move per lock acquisition)")
 	seed := fs.Uint64("seed", 42, "root random seed")
 	reps := fs.Int("reps", 3, "repetitions per configuration (best run reported)")
 	var out output
@@ -27,6 +28,7 @@ func runThroughput(args []string, stdout, stderr io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	normalizeBatch(batch)
 	threads, err := parseInts(*threadsFlag)
 	if err != nil {
 		return err
@@ -34,7 +36,7 @@ func runThroughput(args []string, stdout, stderr io.Writer) error {
 	if *reps < 1 {
 		*reps = 1
 	}
-	tb := bench.NewTable("impl", "threads", "mops", "ops", "empty_pops")
+	tb := bench.NewTable("impl", "threads", "batch", "mops", "ops", "empty_pops", "buffered_pops")
 	rep := bench.NewReport("throughput", *seed)
 	for _, impl := range splitList(*implsFlag) {
 		for _, th := range threads {
@@ -46,6 +48,7 @@ func runThroughput(args []string, stdout, stderr io.Writer) error {
 					Threads:  th,
 					Duration: *duration,
 					Prefill:  *prefill,
+					Batch:    *batch,
 					Seed:     *seed + uint64(r),
 				})
 				if err != nil {
@@ -55,10 +58,11 @@ func runThroughput(args []string, stdout, stderr io.Writer) error {
 					best = one
 				}
 			}
-			tb.AddRow(impl, th, best.MOps, best.Ops, best.EmptyPops)
+			tb.AddRow(impl, th, *batch, best.MOps, best.Ops, best.EmptyPops, best.BufferedPops)
 			row := bench.Row{
-				Impl: impl, Threads: th,
+				Impl: impl, Threads: th, Batch: *batch,
 				MOps: best.MOps, Ops: best.Ops, EmptyPops: best.EmptyPops,
+				BufferedPops: best.BufferedPops,
 			}
 			row.SetTopology(best.Topology)
 			rep.Add(row)

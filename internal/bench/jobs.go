@@ -19,6 +19,11 @@ type JobsSpec struct {
 	Workload *jobs.Workload
 	// Threads is the server worker count.
 	Threads int
+	// Batch is the executor's bulk-operation size k (0 or 1 = unbatched).
+	// Batching a job server trades scheduling quality for throughput: up to
+	// k−1 jobs per worker wait in local buffers where higher-priority jobs
+	// cannot overtake them (see jobs.RunBatch).
+	Batch int
 	// Seed fixes queue randomness.
 	Seed uint64
 }
@@ -32,6 +37,9 @@ type JobsResult struct {
 	// magnitude (see jobs.Result).
 	Inversions int64
 	InvWaiting int64
+	// BufferedPops counts jobs served from worker-local batch buffers
+	// (zero when unbatched; see sched.Stats.BufferedPops).
+	BufferedPops int64
 	// PerClass holds per-priority-class completion latencies.
 	PerClass []jobs.ClassStats
 	// Topology records what the measured queue resolved to.
@@ -48,16 +56,17 @@ func Jobs(spec JobsSpec) (JobsResult, error) {
 		return JobsResult{}, err
 	}
 	topology := pqadapt.TopologyOf(spec.Impl, q)
-	res, err := jobs.Run(spec.Workload, q, spec.Threads)
+	res, err := jobs.RunBatch(spec.Workload, q, spec.Threads, spec.Batch)
 	if err != nil {
 		return JobsResult{}, err
 	}
 	return JobsResult{
-		Elapsed:    res.Elapsed,
-		MJobs:      float64(spec.Workload.Spec.Jobs) / res.Elapsed.Seconds() / 1e6,
-		Inversions: res.Inversions,
-		InvWaiting: res.InvWaiting,
-		PerClass:   res.PerClass,
-		Topology:   topology,
+		Elapsed:      res.Elapsed,
+		MJobs:        float64(spec.Workload.Spec.Jobs) / res.Elapsed.Seconds() / 1e6,
+		Inversions:   res.Inversions,
+		InvWaiting:   res.InvWaiting,
+		BufferedPops: res.Stats.BufferedPops,
+		PerClass:     res.PerClass,
+		Topology:     topology,
 	}, nil
 }

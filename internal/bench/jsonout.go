@@ -49,6 +49,12 @@ type Row struct {
 	Choices int      `json:"choices,omitempty"`
 	// Threads is the worker count of the measurement.
 	Threads int `json:"threads,omitempty"`
+	// Batch is the bulk-operation size k the measurement ran with; absent
+	// (0) means the classic single-op loop. BufferedPops counts elements
+	// served from worker-local batch buffers — the batching slack (see
+	// EXPERIMENTS.md on comparing batched rows against pre-batch history).
+	Batch        int   `json:"batch,omitempty"`
+	BufferedPops int64 `json:"buffered_pops,omitempty"`
 
 	// Throughput metrics (powerbench throughput). Ops counts completed
 	// operations only; EmptyPops reports failed pops separately (they were

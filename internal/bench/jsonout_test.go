@@ -51,6 +51,14 @@ func pinnedReport() *Report {
 				Impl: "multiqueue", Beta: floatPtr(1), Queues: 8, Choices: 2,
 				Threads: 4, MOps: 9.125, Ops: 4_550_000, EmptyPops: 17,
 			},
+			// A batched throughput row: batch records the bulk-operation
+			// size k, buffered_pops the elements served from batch refills
+			// beyond their first element.
+			{
+				Impl: "multiqueue", Beta: floatPtr(1), Queues: 8, Choices: 2,
+				Threads: 4, Batch: 8, MOps: 12.75, Ops: 6_400_000,
+				EmptyPops: 3, BufferedPops: 2_800_000,
+			},
 			// An astar row: expansion counts vs the sequential baseline.
 			{
 				Impl: "onebeta75", Beta: floatPtr(0.75), Queues: 8, Choices: 2,

@@ -10,6 +10,7 @@ import (
 	"powerchoice/internal/fenwick"
 	"powerchoice/internal/graph"
 	"powerchoice/internal/pqadapt"
+	"powerchoice/internal/sched"
 	"powerchoice/internal/stats"
 )
 
@@ -35,6 +36,16 @@ type RankSpec struct {
 	Prefill int
 	// OpsPerThread is the number of delete+insert pairs each thread runs.
 	OpsPerThread int
+	// Batch is the bulk-deletion size k: each thread refills a local buffer
+	// of up to k elements per DeleteMinBatch and consumes it element by
+	// element. Removal events are sequenced at consumption time, so the
+	// measured ranks include the batching slack — up to (k−1)·Threads
+	// elements can sit invisible in local buffers at any moment, and the
+	// mean rank is expected to exceed the unbatched mean by at most that
+	// (TestRankQualityBatchedSlack pins the bound). 0 or 1 measures the
+	// classic single-op loop. Implementations without native batch support
+	// run a loop fallback with identical buffering semantics.
+	Batch int
 	// Seed fixes all randomness.
 	Seed uint64
 }
@@ -127,9 +138,25 @@ func RankQuality(spec RankSpec) (RankResult, error) {
 			if wl, ok := q.(graph.WorkerLocal); ok {
 				local = wl.Local()
 			}
+			// Batched mode: a thread-local buffer refilled k at a time
+			// (the shared sched.PopBuffer). Each removal is sequenced when
+			// the thread consumes it, not when the batch left the shared
+			// structure — that is the rank cost batching actually imposes
+			// on a consumer.
+			batch := spec.Batch
+			var popBuf *sched.PopBuffer[int32]
+			if batch > 1 {
+				popBuf = sched.NewPopBuffer[int32](local, batch)
+			}
 			events := make([]rankEvent, 0, 2*spec.OpsPerThread)
 			for i := 0; i < spec.OpsPerThread; i++ {
-				key, _, ok := local.DeleteMin()
+				var key uint64
+				var ok bool
+				if batch <= 1 {
+					key, _, ok = local.DeleteMin()
+				} else {
+					key, _, ok = popBuf.Pop()
+				}
 				s := seq.Add(1)
 				if ok {
 					events = append(events, rankEvent{seq: s, key: key})

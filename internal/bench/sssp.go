@@ -20,6 +20,8 @@ type SSSPSpec struct {
 	Source int
 	// Threads is the worker count.
 	Threads int
+	// Batch is the executor's bulk-operation size k (0 or 1 = unbatched).
+	Batch int
 	// Seed fixes queue randomness.
 	Seed uint64
 	// Verify, when set, checks the result against sequential Dijkstra.
@@ -45,7 +47,7 @@ func SSSP(spec SSSPSpec) (SSSPResult, error) {
 	}
 	topology := pqadapt.TopologyOf(spec.Impl, q)
 	start := time.Now()
-	dist, st, err := graph.ParallelSSSP(spec.G, spec.Source, q, spec.Threads)
+	dist, st, err := graph.ParallelSSSPBatch(spec.G, spec.Source, q, spec.Threads, spec.Batch)
 	elapsed := time.Since(start)
 	if err != nil {
 		return SSSPResult{}, err

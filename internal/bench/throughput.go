@@ -15,6 +15,7 @@ import (
 
 	"powerchoice/internal/graph"
 	"powerchoice/internal/pqadapt"
+	"powerchoice/internal/sched"
 	"powerchoice/internal/xrand"
 )
 
@@ -33,6 +34,11 @@ type ThroughputSpec struct {
 	// Prefill inserts this many random-key elements before timing, keeping
 	// the run in the never-empty regime the paper measures.
 	Prefill int
+	// Batch is the bulk-operation size k: workers insert and delete k
+	// elements per batch call (one lock acquisition per k on MultiQueue
+	// implementations; a loop fallback elsewhere). 0 or 1 measures the
+	// classic single-op loop.
+	Batch int
 	// Seed fixes all randomness.
 	Seed uint64
 }
@@ -48,6 +54,10 @@ type ThroughputResult struct {
 	// not completed work. Near zero in the paper's never-empty regime; a
 	// large value flags a measurement outside that regime.
 	EmptyPops int64
+	// BufferedPops counts deletions that came out of a batch refill beyond
+	// its first element — the elements whose latency the batching hid and
+	// whose rank slack the batch buffer caused. Zero when unbatched.
+	BufferedPops int64
 	// Elapsed is the measured wall time.
 	Elapsed time.Duration
 	// MOps is throughput in million operations per second.
@@ -58,9 +68,10 @@ type ThroughputResult struct {
 
 // paddedCount keeps per-worker counters on separate cache lines.
 type paddedCount struct {
-	n     int64
-	empty int64
-	_     [48]byte
+	n        int64
+	empty    int64
+	buffered int64
+	_        [40]byte
 }
 
 // Throughput runs alternating insert / deleteMin pairs on the chosen
@@ -100,37 +111,72 @@ func Throughput(spec ThroughputSpec) (ThroughputResult, error) {
 				view = wl.Local()
 			}
 			rng := sh.Source(w)
-			var local, empty int64
-			for !stop.Load() {
-				for i := 0; i < 32; i++ {
-					view.Insert(rng.Uint64()>>1, int32(i))
-					local++
-					if _, _, ok := view.DeleteMin(); ok {
-						local++
-					} else {
-						empty++
+			var local, empty, buffered int64
+			if batch := spec.Batch; batch > 1 {
+				// Batched variant of the same alternating workload: k
+				// inserts then k deletes per round, through the bulk
+				// operations (one lock acquisition per k on MultiQueues)
+				// and the shared worker-local pop buffer.
+				bq := sched.AsBatched(view)
+				popBuf := sched.NewPopBuffer[int32](bq, batch)
+				keys := make([]uint64, batch)
+				vals := make([]int32, batch)
+				for !stop.Load() {
+					for i := 0; i < 32; i += batch {
+						for j := 0; j < batch; j++ {
+							keys[j] = rng.Uint64() >> 1
+						}
+						bq.InsertBatch(keys, vals)
+						local += int64(batch)
+						for j := 0; j < batch; j++ {
+							if _, _, ok := popBuf.Pop(); ok {
+								local++
+							} else {
+								empty++
+								break
+							}
+						}
+					}
+					if time.Now().After(deadline) {
+						stop.Store(true)
 					}
 				}
-				if time.Now().After(deadline) {
-					stop.Store(true)
+				buffered = popBuf.BufferedPops()
+			} else {
+				for !stop.Load() {
+					for i := 0; i < 32; i++ {
+						view.Insert(rng.Uint64()>>1, int32(i))
+						local++
+						if _, _, ok := view.DeleteMin(); ok {
+							local++
+						} else {
+							empty++
+						}
+					}
+					if time.Now().After(deadline) {
+						stop.Store(true)
+					}
 				}
 			}
 			counts[w].n = local
 			counts[w].empty = empty
+			counts[w].buffered = buffered
 		}(w)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
-	var total, empty int64
+	var total, empty, buffered int64
 	for i := range counts {
 		total += counts[i].n
 		empty += counts[i].empty
+		buffered += counts[i].buffered
 	}
 	return ThroughputResult{
-		Ops:       total,
-		EmptyPops: empty,
-		Elapsed:   elapsed,
-		MOps:      float64(total) / elapsed.Seconds() / 1e6,
-		Topology:  topology,
+		Ops:          total,
+		EmptyPops:    empty,
+		BufferedPops: buffered,
+		Elapsed:      elapsed,
+		MOps:         float64(total) / elapsed.Seconds() / 1e6,
+		Topology:     topology,
 	}, nil
 }

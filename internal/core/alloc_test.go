@@ -1,0 +1,102 @@
+package core
+
+// Steady-state allocation regression tests: every Handle hot-path operation
+// must allocate zero bytes once the structure has reached its working
+// capacity. The scratch buffer for d-choice sampling and the local pop
+// buffer are allocated at handle construction / first use exactly so these
+// hold; a regression here (a lazy make on the hot path, a closure capture,
+// an interface box) shows up as a fractional alloc/op.
+
+import (
+	"testing"
+
+	"powerchoice/internal/xrand"
+)
+
+// allocMQ builds a warmed-up MultiQueue and handle: prefilled so heap slices
+// have grown to their working capacity and drained/refilled once so every
+// lazily-grown buffer exists.
+func allocMQ(t *testing.T, opts ...Option) (*MultiQueue[int32], *Handle[V32]) {
+	t.Helper()
+	mq, err := New[V32](opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := mq.Handle()
+	rng := xrand.NewSource(71)
+	for i := 0; i < 4096; i++ {
+		h.Insert(rng.Uint64()>>1, 0)
+	}
+	for i := 0; i < 2048; i++ {
+		h.Insert(rng.Uint64()>>1, 0)
+		h.DeleteMin()
+	}
+	return mq, h
+}
+
+// V32 is the value type the allocation tests use.
+type V32 = int32
+
+func assertZeroAllocs(t *testing.T, name string, fn func()) {
+	t.Helper()
+	if avg := testing.AllocsPerRun(200, fn); avg != 0 {
+		t.Errorf("%s allocates %.2f objects per op in steady state, want 0", name, avg)
+	}
+}
+
+func TestHandleOpsAllocationFree(t *testing.T) {
+	_, h := allocMQ(t, WithQueues(8), WithSeed(73))
+	rng := xrand.NewSource(74)
+	assertZeroAllocs(t, "Insert", func() {
+		h.Insert(rng.Uint64()>>1, 0)
+		h.DeleteMin() // keep the size balanced so heaps never grow
+	})
+	assertZeroAllocs(t, "DeleteMin", func() {
+		h.DeleteMin()
+		h.Insert(rng.Uint64()>>1, 0)
+	})
+}
+
+// TestHandleOpsAllocationFreeDChoice covers the d > 2 sampling path, whose
+// scratch buffer was once allocated lazily inside pickQueue.
+func TestHandleOpsAllocationFreeDChoice(t *testing.T) {
+	_, h := allocMQ(t, WithQueues(8), WithChoices(4), WithSeed(75))
+	rng := xrand.NewSource(76)
+	assertZeroAllocs(t, "DeleteMin(d=4)", func() {
+		h.DeleteMin()
+		h.Insert(rng.Uint64()>>1, 0)
+	})
+}
+
+func TestBatchOpsAllocationFree(t *testing.T) {
+	_, h := allocMQ(t, WithQueues(8), WithSeed(77))
+	rng := xrand.NewSource(78)
+	const k = 8
+	keys := make([]uint64, k)
+	vals := make([]V32, k)
+	// Warm the handle-local pop buffer.
+	if _, _, ok := h.DeleteMinBuffered(k); !ok {
+		t.Fatal("warm-up buffered pop failed")
+	}
+	assertZeroAllocs(t, "InsertBatch+DeleteMinBatch", func() {
+		for i := range keys {
+			keys[i] = rng.Uint64() >> 1
+		}
+		h.InsertBatch(keys, vals)
+		popped := 0
+		for popped < k {
+			n := h.DeleteMinBatch(keys[popped:], vals[popped:], k-popped)
+			if n == 0 {
+				t.Fatal("batch pop drained unexpectedly")
+			}
+			popped += n
+		}
+	})
+	assertZeroAllocs(t, "DeleteMinBuffered", func() {
+		key, _, ok := h.DeleteMinBuffered(k)
+		if !ok {
+			t.Fatal("buffered pop drained unexpectedly")
+		}
+		h.Insert(key, 0)
+	})
+}

@@ -1,0 +1,220 @@
+package core
+
+import "powerchoice/internal/backoff"
+
+// Batch operations amortise the MultiQueue's per-operation overhead — lock
+// acquire/release, queue sampling, cached-top maintenance — over up to k
+// elements, the k-LSM-style trade the repository already adapts in pqadapt
+// (klsm256): one lock acquisition and one top refresh move k elements.
+//
+// The cost is a documented extra rank relaxation with two parts.
+//
+// Invisibility: DeleteMinBuffered holds up to k−1 already-removed elements
+// in a handle-local buffer where no other handle can see them, so with H
+// handles up to (k−1)·H elements are invisible to concurrent deleters at
+// any moment and every pop's rank can exceed the unbatched bound by at most
+// that amount.
+//
+// Depth: a batch takes its queue's k smallest at once, so the j-th element
+// consumed from a batch was that queue's rank-j element — up to (j−1) local
+// ranks worse than the unbatched process, which always takes local rank 1
+// of its chosen queue. On n balanced queues that is ≈ n·(k−1)/2 extra
+// global rank in expectation (worst case (k−1)·n).
+//
+// Together the structure's O(n/β²) expected rank becomes
+// O(n/β² + (k−1)·H + n·(k−1)/2); bench.TestRankQualityBatchedSlack pins the
+// combined bound, and bench.TestJobsBatchingInversionBound pins its
+// scheduling-quality face (priority inversions at k=4).
+
+// InsertBatch adds len(keys) elements under a single lock acquisition and a
+// single O(1) cached-top update. keys and vals must have equal length (the
+// call panics otherwise — a programming error, not an input error); keys
+// equal to the maximum uint64 are clamped down by one like Insert's. The
+// whole batch lands on one queue: rank-wise this is equivalent to an insert
+// streak with stickiness len(keys).
+func (h *Handle[V]) InsertBatch(keys []uint64, vals []V) {
+	if len(keys) != len(vals) {
+		panic("core: InsertBatch keys/vals length mismatch")
+	}
+	if len(keys) == 0 {
+		return
+	}
+	mq := h.mq
+	if mq.atomic {
+		mq.globalMu.Lock()
+		q := &mq.queues[h.rng.Intn(len(mq.queues))]
+		q.pushBatch(keys, vals)
+		mq.globalMu.Unlock()
+		h.inserts += int64(len(keys))
+		return
+	}
+	// Sticky fast path, exactly as in Insert: a batch counts as one
+	// operation against the streak.
+	if h.insLeft > 0 && h.stickyIns != nil {
+		if q := h.stickyIns; q.lock.TryLock() {
+			q.pushBatch(keys, vals)
+			q.lock.Unlock()
+			h.insLeft--
+			h.inserts += int64(len(keys))
+			return
+		}
+		h.lockFails++
+		h.insLeft = 0
+	}
+	var bo backoff.Spinner
+	for {
+		q := &mq.queues[h.rng.Intn(len(mq.queues))]
+		if q.lock.TryLock() {
+			q.pushBatch(keys, vals)
+			q.lock.Unlock()
+			if mq.stickiness > 1 {
+				h.stickyIns = q
+				h.insLeft = mq.stickiness - 1
+			}
+			h.inserts += int64(len(keys))
+			return
+		}
+		h.lockFails++
+		bo.Spin()
+	}
+}
+
+// DeleteMinBatch removes up to k elements under a single lock acquisition
+// and a single cached-top refresh, storing them in ascending key order into
+// keys/vals and returning the number removed. k is clamped to the shorter of
+// the two slices; k <= 0 means their full length. All removed elements come
+// from one queue — the queue the (1+β) d-choice rule picks — so the batch is
+// that queue's k smallest, not the structure's.
+//
+// A return of 0 means a full sweep of the cached tops found every queue
+// empty (relaxed emptiness, exactly like DeleteMin's ok=false).
+func (h *Handle[V]) DeleteMinBatch(keys []uint64, vals []V, k int) int {
+	if k <= 0 || k > len(keys) {
+		k = len(keys)
+	}
+	if k > len(vals) {
+		k = len(vals)
+	}
+	if k == 0 {
+		return 0
+	}
+	mq := h.mq
+	if mq.atomic {
+		return h.deleteMinBatchAtomic(keys, vals, k)
+	}
+	// Sticky fast path, mirroring DeleteMin's accounting: a failed TryLock
+	// is a lockFail, a drain behind a stale top is an emptyScan, and any
+	// obstacle breaks the streak. A batch counts as one operation.
+	if h.delLeft > 0 && h.stickyDel != nil {
+		q := h.stickyDel
+		if q.top.Load() != emptyTop {
+			if q.lock.TryLock() {
+				n := q.popBatch(keys, vals, k)
+				q.lock.Unlock()
+				if n > 0 {
+					h.delLeft--
+					h.deletes += int64(n)
+					return n
+				}
+				h.emptyScans++
+			} else {
+				h.lockFails++
+			}
+		}
+		h.delLeft = 0
+	}
+	var bo backoff.Spinner
+	for {
+		q := h.pickQueue()
+		if q == nil {
+			h.emptyScans++
+			if !mq.anyNonEmpty() {
+				return 0
+			}
+			bo.Spin()
+			continue
+		}
+		if !q.lock.TryLock() {
+			h.lockFails++
+			bo.Spin()
+			continue
+		}
+		n := q.popBatch(keys, vals, k)
+		q.lock.Unlock()
+		if n == 0 {
+			h.emptyScans++
+			continue
+		}
+		if mq.stickiness > 1 {
+			h.stickyDel = q
+			h.delLeft = mq.stickiness - 1
+		}
+		h.deletes += int64(n)
+		return n
+	}
+}
+
+// deleteMinBatchAtomic is DeleteMinBatch under the global lock (Appendix C
+// mode): the whole pick-and-drain executes atomically.
+func (h *Handle[V]) deleteMinBatchAtomic(keys []uint64, vals []V, k int) int {
+	mq := h.mq
+	var bo backoff.Spinner
+	for {
+		mq.globalMu.Lock()
+		q := h.pickQueue()
+		if q == nil {
+			empty := !mq.anyNonEmpty()
+			mq.globalMu.Unlock()
+			h.emptyScans++
+			if empty {
+				return 0
+			}
+			bo.Spin()
+			continue
+		}
+		n := q.popBatch(keys, vals, k)
+		mq.globalMu.Unlock()
+		if n == 0 {
+			h.emptyScans++
+			continue
+		}
+		h.deletes += int64(n)
+		return n
+	}
+}
+
+// DeleteMinBuffered behaves like DeleteMin but refills a handle-local buffer
+// of up to k elements per lock acquisition and serves from that buffer until
+// it drains — the executor-facing form of DeleteMinBatch. Elements sitting
+// in the buffer have already been removed from the shared structure and are
+// invisible to every other handle; with H handles that is the documented
+// ≤ (k−1)·H rank slack, surfaced as HandleStats.Buffered/BufferedPops.
+//
+// ok=false means the buffer is empty AND a sweep found the shared structure
+// (relaxedly) empty. Callers must not interleave DeleteMin and
+// DeleteMinBuffered on the same handle expecting global order between them;
+// the buffer is only drained by DeleteMinBuffered.
+func (h *Handle[V]) DeleteMinBuffered(k int) (uint64, V, bool) {
+	if h.popPos < h.popLen {
+		i := h.popPos
+		h.popPos++
+		h.bufferedPops++
+		return h.popKeys[i], h.popVals[i], true
+	}
+	if k < 1 {
+		k = 1
+	}
+	if cap(h.popKeys) < k {
+		h.popKeys = make([]uint64, k)
+		h.popVals = make([]V, k)
+	}
+	n := h.DeleteMinBatch(h.popKeys[:k], h.popVals[:k], k)
+	if n == 0 {
+		var zero V
+		return 0, zero, false
+	}
+	// The first element is served directly (it never waited in the buffer);
+	// the remaining n-1 are the buffered slack.
+	h.popPos, h.popLen = 1, n
+	return h.popKeys[0], h.popVals[0], true
+}

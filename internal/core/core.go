@@ -59,19 +59,26 @@ type MultiQueue[V any] struct {
 // words do not false-share. top and count are written only under lock and
 // read without it.
 //
-// The payload is 40 bytes (lock 4 + align 4, top 8, count 8, heap
-// interface 16); the pad brings the size to 128 — a multiple of two 64-byte
-// cache lines, so adjacent mq.queues elements never share a line and the
-// adjacent-line prefetcher cannot couple them either. A 72-byte version of
-// this struct once left every element straddling lines with its neighbours
-// despite this comment claiming otherwise; TestLockedQueuePaddedToCacheLinePair
-// pins the layout.
+// The default heap kind is devirtualized: dary stores the flat 4-ary heap
+// inline (heap stays nil), so the hot path's Push/PopMin are direct calls on
+// a concrete type — inlinable, no dynamic dispatch, no pointer chase to a
+// separately allocated heap header. Non-default kinds keep the interface
+// path via heap; every access site dispatches on heap == nil.
+//
+// The payload is 64 bytes (lock 4 + align 4, top 8, count 8, dary slice
+// header 24, heap interface 16); the pad brings the size to 128 — a multiple
+// of two 64-byte cache lines, so adjacent mq.queues elements never share a
+// line and the adjacent-line prefetcher cannot couple them either. A 72-byte
+// version of this struct once left every element straddling lines with its
+// neighbours despite this comment claiming otherwise;
+// TestLockedQueuePaddedToCacheLinePair pins the layout.
 type lockedQueue[V any] struct {
 	lock  spinLock
 	top   atomicUint64 // cached minimum key, emptyTop when empty
 	count atomicInt64  // cached heap length
-	heap  pqueue.Queue[V]
-	_     [88]byte // pad the 40-byte payload to 128 bytes
+	dary  pqueue.DAryHeap[V]
+	heap  pqueue.Queue[V] // nil when devirtualized onto dary
+	_     [64]byte        // pad the 64-byte payload to 128 bytes
 }
 
 // Config reports the topology and parameters a MultiQueue actually resolved
@@ -129,7 +136,11 @@ func New[V any](opts ...Option) (*MultiQueue[V], error) {
 		sharded: xrand.NewSharded(cfg.seed),
 	}
 	for i := range mq.queues {
-		mq.queues[i].heap = pqueue.New[V](cfg.heapKind)
+		if cfg.heapKind != pqueue.KindDAry {
+			// Non-default kinds go through the interface; the default 4-ary
+			// heap lives inline in lockedQueue.dary (see lockedQueue).
+			mq.queues[i].heap = pqueue.New[V](cfg.heapKind)
+		}
 		mq.queues[i].top.Store(emptyTop)
 	}
 	mq.handles.New = func() any { return mq.newHandle() }
@@ -180,10 +191,117 @@ func (mq *MultiQueue[V]) DeleteMin() (uint64, V, bool) {
 // refreshTop recomputes q's cached top and count from its heap. Callers
 // must hold q.lock.
 func (q *lockedQueue[V]) refreshTop() {
+	if q.heap == nil {
+		q.syncDary()
+		return
+	}
 	if it, ok := q.heap.PeekMin(); ok {
 		q.top.Store(it.Key)
 	} else {
 		q.top.Store(emptyTop)
 	}
 	q.count.Store(int64(q.heap.Len()))
+}
+
+// syncDary is refreshTop for the devirtualized heap: it reads the new top
+// key without copying the value and without any interface call.
+func (q *lockedQueue[V]) syncDary() {
+	if k, ok := q.dary.MinKey(); ok {
+		q.top.Store(k)
+	} else {
+		q.top.Store(emptyTop)
+	}
+	q.count.Store(int64(q.dary.Len()))
+}
+
+// push inserts under the held lock. The cached top is maintained in O(1) —
+// the new top is min(top, key) and the count just increments — so the common
+// insert does no PeekMin at all (the pre-devirtualization code re-derived
+// the top from the heap after every Push). top and count are written only
+// under q.lock, so plain load+store pairs replace atomic RMWs here.
+func (q *lockedQueue[V]) push(key uint64, value V) {
+	if q.heap == nil {
+		q.dary.Push(key, value)
+	} else {
+		q.heap.Push(key, value)
+	}
+	if key < q.top.Load() {
+		q.top.Store(key)
+	}
+	q.count.Store(q.count.Load() + 1)
+}
+
+// pushBatch inserts all keys under the held lock with a single cached-top
+// update at the end. Keys equal to the empty sentinel are clamped like
+// Insert's. keys and vals must have equal length.
+func (q *lockedQueue[V]) pushBatch(keys []uint64, vals []V) {
+	minKey := uint64(emptyTop)
+	if q.heap == nil {
+		for i, k := range keys {
+			if k == emptyTop {
+				k = emptyTop - 1
+			}
+			q.dary.Push(k, vals[i])
+			if k < minKey {
+				minKey = k
+			}
+		}
+	} else {
+		for i, k := range keys {
+			if k == emptyTop {
+				k = emptyTop - 1
+			}
+			q.heap.Push(k, vals[i])
+			if k < minKey {
+				minKey = k
+			}
+		}
+	}
+	if minKey < q.top.Load() {
+		q.top.Store(minKey)
+	}
+	q.count.Store(q.count.Load() + int64(len(keys)))
+}
+
+// popMin removes the minimum under the held lock and refreshes the cached
+// top/count, including after a failed pop (a failed pop means the cached top
+// was stale; the refresh repairs it to emptyTop).
+func (q *lockedQueue[V]) popMin() (pqueue.Item[V], bool) {
+	if q.heap == nil {
+		it, ok := q.dary.PopMin()
+		q.syncDary()
+		return it, ok
+	}
+	it, ok := q.heap.PopMin()
+	q.refreshTop()
+	return it, ok
+}
+
+// popBatch removes up to k elements under the held lock into keys/vals with
+// a single cached-top refresh at the end, returning the number removed.
+// Elements land in ascending key order (they are successive heap minima).
+func (q *lockedQueue[V]) popBatch(keys []uint64, vals []V, k int) int {
+	n := 0
+	if q.heap == nil {
+		for n < k {
+			it, ok := q.dary.PopMin()
+			if !ok {
+				break
+			}
+			keys[n], vals[n] = it.Key, it.Value
+			n++
+		}
+		q.syncDary()
+		return n
+	}
+	for n < k {
+		it, ok := q.heap.PopMin()
+		if !ok {
+			break
+		}
+		keys[n], vals[n] = it.Key, it.Value
+		n++
+	}
+	q.refreshTop()
+	return n
 }

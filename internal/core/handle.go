@@ -1,8 +1,7 @@
 package core
 
 import (
-	"runtime"
-
+	"powerchoice/internal/backoff"
 	"powerchoice/internal/xrand"
 )
 
@@ -13,18 +12,26 @@ import (
 type Handle[V any] struct {
 	mq      *MultiQueue[V]
 	rng     *xrand.Source
-	scratch []int // d-choice sample buffer
+	scratch []int // d-choice sample buffer, sized at construction (d > 2)
 	// Sticky state: remembered queues and remaining streak lengths (only
 	// used when the MultiQueue was built WithStickiness > 1).
 	stickyIns *lockedQueue[V]
 	insLeft   int
 	stickyDel *lockedQueue[V]
 	delLeft   int
+	// Local pop buffer for DeleteMinBuffered: elements already removed from
+	// the shared structure, waiting to be returned to this handle's owner.
+	// Drained front to back before the shared queues are re-sampled.
+	popKeys []uint64
+	popVals []V
+	popPos  int
+	popLen  int
 	// stats, maintained without atomics (single-owner).
-	inserts    int64
-	deletes    int64
-	lockFails  int64
-	emptyScans int64
+	inserts      int64
+	deletes      int64
+	lockFails    int64
+	emptyScans   int64
+	bufferedPops int64
 }
 
 // Handle returns a new dedicated handle for the calling goroutine.
@@ -34,27 +41,42 @@ func (mq *MultiQueue[V]) Handle() *Handle[V] {
 
 func (mq *MultiQueue[V]) newHandle() *Handle[V] {
 	id := mq.hseq.Add(1)
-	return &Handle[V]{mq: mq, rng: mq.sharded.Source(int(id))}
+	h := &Handle[V]{mq: mq, rng: mq.sharded.Source(int(id))}
+	if mq.choices > 2 {
+		// Allocated here, not lazily on the d-choice hot path: pickQueue
+		// must stay allocation-free (TestHandleOpsAllocationFree).
+		h.scratch = make([]int, mq.choices)
+	}
+	return h
 }
 
 // HandleStats reports a handle's operation counters.
 type HandleStats struct {
-	// Inserts and Deletes count completed operations.
+	// Inserts and Deletes count completed operations (batch operations count
+	// each element).
 	Inserts, Deletes int64
 	// LockFails counts try-lock failures that forced a fresh random queue.
 	LockFails int64
 	// EmptyScans counts deletion attempts that found the sampled queue(s)
 	// empty while the structure was non-empty.
 	EmptyScans int64
+	// BufferedPops counts DeleteMinBuffered results served from the
+	// handle-local pop buffer rather than directly from a shared queue.
+	BufferedPops int64
+	// Buffered is the current handle-local pop-buffer occupancy: elements
+	// already removed from the shared structure but not yet returned.
+	Buffered int
 }
 
 // Stats returns the handle's counters.
 func (h *Handle[V]) Stats() HandleStats {
 	return HandleStats{
-		Inserts:    h.inserts,
-		Deletes:    h.deletes,
-		LockFails:  h.lockFails,
-		EmptyScans: h.emptyScans,
+		Inserts:      h.inserts,
+		Deletes:      h.deletes,
+		LockFails:    h.lockFails,
+		EmptyScans:   h.emptyScans,
+		BufferedPops: h.bufferedPops,
+		Buffered:     h.popLen - h.popPos,
 	}
 }
 
@@ -68,8 +90,7 @@ func (h *Handle[V]) Insert(key uint64, value V) {
 	if mq.atomic {
 		mq.globalMu.Lock()
 		q := &mq.queues[h.rng.Intn(len(mq.queues))]
-		q.heap.Push(key, value)
-		q.refreshTop()
+		q.push(key, value)
 		mq.globalMu.Unlock()
 		h.inserts++
 		return
@@ -78,8 +99,7 @@ func (h *Handle[V]) Insert(key uint64, value V) {
 	// lasts and its lock is free; any obstacle breaks the streak.
 	if h.insLeft > 0 && h.stickyIns != nil {
 		if q := h.stickyIns; q.lock.TryLock() {
-			q.heap.Push(key, value)
-			q.refreshTop()
+			q.push(key, value)
 			q.lock.Unlock()
 			h.insLeft--
 			h.inserts++
@@ -88,11 +108,11 @@ func (h *Handle[V]) Insert(key uint64, value V) {
 		h.lockFails++
 		h.insLeft = 0
 	}
-	for spins := 0; ; spins++ {
+	var bo backoff.Spinner
+	for {
 		q := &mq.queues[h.rng.Intn(len(mq.queues))]
 		if q.lock.TryLock() {
-			q.heap.Push(key, value)
-			q.refreshTop()
+			q.push(key, value)
 			q.lock.Unlock()
 			if mq.stickiness > 1 {
 				h.stickyIns = q
@@ -102,9 +122,7 @@ func (h *Handle[V]) Insert(key uint64, value V) {
 			return
 		}
 		h.lockFails++
-		if spins%16 == 15 {
-			runtime.Gosched()
-		}
+		bo.Spin()
 	}
 }
 
@@ -126,8 +144,7 @@ func (h *Handle[V]) DeleteMin() (uint64, V, bool) {
 		q := h.stickyDel
 		if q.top.Load() != emptyTop {
 			if q.lock.TryLock() {
-				it, ok := q.heap.PopMin()
-				q.refreshTop()
+				it, ok := q.popMin()
 				q.lock.Unlock()
 				if ok {
 					h.delLeft--
@@ -141,7 +158,8 @@ func (h *Handle[V]) DeleteMin() (uint64, V, bool) {
 		}
 		h.delLeft = 0
 	}
-	for spins := 0; ; spins++ {
+	var bo backoff.Spinner
+	for {
 		q := h.pickQueue()
 		if q == nil {
 			// All sampled tops empty: sweep every queue before declaring
@@ -151,20 +169,15 @@ func (h *Handle[V]) DeleteMin() (uint64, V, bool) {
 				var zero V
 				return 0, zero, false
 			}
-			if spins%4 == 3 {
-				runtime.Gosched()
-			}
+			bo.Spin()
 			continue
 		}
 		if !q.lock.TryLock() {
 			h.lockFails++
-			if spins%16 == 15 {
-				runtime.Gosched()
-			}
+			bo.Spin()
 			continue
 		}
-		it, ok := q.heap.PopMin()
-		q.refreshTop()
+		it, ok := q.popMin()
 		q.lock.Unlock()
 		if !ok {
 			// Queue drained between the unsynchronised top read and the
@@ -207,9 +220,6 @@ func (h *Handle[V]) pickQueue() *lockedQueue[V] {
 		}
 		return qj
 	default:
-		if h.scratch == nil {
-			h.scratch = make([]int, mq.choices)
-		}
 		h.rng.KDistinct(h.scratch, n)
 		var best *lockedQueue[V]
 		bestTop := uint64(emptyTop)
@@ -227,6 +237,7 @@ func (h *Handle[V]) pickQueue() *lockedQueue[V] {
 // global lock (Appendix C's distributionally linearizable reference).
 func (h *Handle[V]) deleteMinAtomic() (uint64, V, bool) {
 	mq := h.mq
+	var bo backoff.Spinner
 	for {
 		mq.globalMu.Lock()
 		q := h.pickQueue()
@@ -238,11 +249,10 @@ func (h *Handle[V]) deleteMinAtomic() (uint64, V, bool) {
 				var zero V
 				return 0, zero, false
 			}
-			runtime.Gosched()
+			bo.Spin()
 			continue
 		}
-		it, ok := q.heap.PopMin()
-		q.refreshTop()
+		it, ok := q.popMin()
 		mq.globalMu.Unlock()
 		if !ok {
 			h.emptyScans++

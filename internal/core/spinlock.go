@@ -1,8 +1,9 @@
 package core
 
 import (
-	"runtime"
 	"sync/atomic"
+
+	"powerchoice/internal/backoff"
 )
 
 // Aliases keep the atomic field types concise at use sites.
@@ -23,13 +24,13 @@ func (l *spinLock) TryLock() bool {
 	return l.v.Load() == 0 && l.v.CompareAndSwap(0, 1)
 }
 
-// Lock acquires the lock, yielding to the scheduler between attempts so
-// spinners cannot starve the lock holder on small GOMAXPROCS.
+// Lock acquires the lock with the shared exponential backoff, which yields
+// to the scheduler after a few failures so spinners cannot starve the lock
+// holder on small GOMAXPROCS.
 func (l *spinLock) Lock() {
-	for spins := 0; !l.TryLock(); spins++ {
-		if spins%16 == 15 {
-			runtime.Gosched()
-		}
+	var bo backoff.Spinner
+	for !l.TryLock() {
+		bo.Spin()
 	}
 }
 

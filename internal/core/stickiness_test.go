@@ -92,10 +92,8 @@ func TestStickyDeleteCountsLockFail(t *testing.T) {
 	h := mq.Handle()
 	// Element in queue 0 (held) and queue 1 (free) so the slow path can
 	// finish the operation after the sticky path fails.
-	mq.queues[0].heap.Push(7, 7)
-	mq.queues[0].refreshTop()
-	mq.queues[1].heap.Push(9, 9)
-	mq.queues[1].refreshTop()
+	mq.queues[0].push(7, 7)
+	mq.queues[1].push(9, 9)
 	// Arm a delete streak on queue 0, then contend its lock.
 	h.stickyDel = &mq.queues[0]
 	h.delLeft = 5
@@ -129,8 +127,7 @@ func TestStickyDeleteCountsEmptyScan(t *testing.T) {
 	// a concurrent drainer leaves between the unsynchronised top read and
 	// the lock acquisition. Queue 1 holds a real element.
 	mq.queues[0].top.Store(3)
-	mq.queues[1].heap.Push(9, 9)
-	mq.queues[1].refreshTop()
+	mq.queues[1].push(9, 9)
 	h.stickyDel = &mq.queues[0]
 	h.delLeft = 5
 	before := h.Stats()

@@ -77,6 +77,16 @@ type SSSPStats struct {
 // itself — termination detection, idle backoff, wasted-work accounting —
 // is the generic sched executor; this function only defines the task.
 func ParallelSSSP(g *Graph, src int, pq ConcurrentPQ, workers int) ([]uint64, SSSPStats, error) {
+	return ParallelSSSPBatch(g, src, pq, workers, 1)
+}
+
+// ParallelSSSPBatch is ParallelSSSP with the executor's batch size exposed:
+// pushed relaxations publish k at a time and pops refill worker-local
+// buffers of k (see sched.Config.Batch). Batching is sound here for the same
+// reason relaxation is: SSSP is label-correcting, so an entry delayed in a
+// worker-local buffer is at worst popped stale and discarded against the
+// atomic distance array — exactness is untouched, only WastedPops can grow.
+func ParallelSSSPBatch(g *Graph, src int, pq ConcurrentPQ, workers, batch int) ([]uint64, SSSPStats, error) {
 	n := g.NumNodes()
 	if src < 0 || src >= n {
 		return nil, SSSPStats{}, fmt.Errorf("graph: source %d outside [0,%d)", src, n)
@@ -107,7 +117,8 @@ func ParallelSSSP(g *Graph, src int, pq ConcurrentPQ, workers int) ([]uint64, SS
 		}
 		return true
 	}
-	st := sched.Run(pq, workers, task, sched.Item[int32]{Key: 0, Value: int32(src)})
+	pq.Insert(0, int32(src))
+	st := sched.RunConfig(pq, sched.Config{Workers: workers, Batch: batch}, task, 1)
 
 	out := make([]uint64, n)
 	for i := range out {

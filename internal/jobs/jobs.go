@@ -121,6 +121,20 @@ type Result struct {
 // `workers` goroutines through the sched executor, simulating each job's
 // service time with a spin loop. Only the drain is timed.
 func Run(w *Workload, q sched.Queue[int32], workers int) (Result, error) {
+	return RunBatch(w, q, workers, 1)
+}
+
+// RunBatch is Run with the executor's batch size exposed (see
+// sched.Config.Batch). Unlike the label-correcting searches, a job server
+// pays for batching in scheduling quality, not just wasted work: up to
+// batch−1 jobs sit in each worker's local buffer where higher-priority
+// arrivals cannot overtake them, and each batch serves its queue's rank-j
+// jobs for j up to batch. Empirically the priority-inversion count grows
+// roughly batch-fold (each batch element can be inverted against jobs
+// hidden deeper in its own batch and in other workers' buffers);
+// bench.TestJobsBatchingInversionBound pins a 2·batch multiplicative
+// regression bound at batch=4.
+func RunBatch(w *Workload, q sched.Queue[int32], workers, batch int) (Result, error) {
 	if q == nil {
 		return Result{}, fmt.Errorf("jobs: nil queue")
 	}
@@ -158,7 +172,7 @@ func Run(w *Workload, q sched.Queue[int32], workers int) (Result, error) {
 		completedAt[id] = time.Since(start).Nanoseconds()
 		return true
 	}
-	st := sched.RunPrefilled(q, workers, task, int64(n))
+	st := sched.RunConfig(q, sched.Config{Workers: workers, Batch: batch}, task, int64(n))
 	elapsed := time.Since(start)
 
 	perClass := make([][]float64, classes)

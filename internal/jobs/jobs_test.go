@@ -108,3 +108,40 @@ func TestExactQueueSingleWorkerHasNoInversions(t *testing.T) {
 		t.Error("nil queue accepted")
 	}
 }
+
+// TestRunBatchDrainsEveryJob: the batched drain must complete every job
+// exactly once and report the batching slack in the executor stats.
+func TestRunBatchDrainsEveryJob(t *testing.T) {
+	const n = 10000
+	w, err := Generate(Spec{Jobs: n, Classes: 4, ServiceMean: 4, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, impl := range []pqadapt.Impl{pqadapt.ImplMultiQueue, pqadapt.ImplGlobalLock} {
+		impl := impl
+		t.Run(string(impl), func(t *testing.T) {
+			q, err := pqadapt.New(impl, 21)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := RunBatch(w, q, 4, 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Stats.Processed != int64(n) || res.Stats.Stale != 0 {
+				t.Fatalf("processed %d stale %d, want %d / 0",
+					res.Stats.Processed, res.Stats.Stale, n)
+			}
+			if res.Stats.BufferedPops == 0 {
+				t.Error("batched drain reported no buffered pops")
+			}
+			var total int64
+			for _, cs := range res.PerClass {
+				total += cs.Jobs
+			}
+			if total != int64(n) {
+				t.Fatalf("per-class jobs sum %d, want %d", total, n)
+			}
+		})
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"powerchoice/internal/graph"
 	"powerchoice/internal/klsm"
 	"powerchoice/internal/pqueue"
+	"powerchoice/internal/sched"
 	"powerchoice/internal/skiplist"
 )
 
@@ -183,12 +184,28 @@ func (a *mqAdapter) Local() graph.ConcurrentPQ {
 	return &mqLocal{h: a.mq.Handle()}
 }
 
+// mqLocal is the per-goroutine MultiQueue view. It implements sched.Batched
+// (one lock acquisition per k elements) on top of the core handle's native
+// batch operations, so batched executor runs hit the devirtualized bulk
+// path instead of the loop fallback.
 type mqLocal struct {
 	h *core.Handle[int32]
 }
 
+var _ sched.Batched[int32] = (*mqLocal)(nil)
+
 func (l *mqLocal) Insert(key uint64, node int32)    { l.h.Insert(key, node) }
 func (l *mqLocal) DeleteMin() (uint64, int32, bool) { return l.h.DeleteMin() }
+
+func (l *mqLocal) InsertBatch(keys []uint64, vals []int32) { l.h.InsertBatch(keys, vals) }
+func (l *mqLocal) DeleteMinBatch(keys []uint64, vals []int32, k int) int {
+	return l.h.DeleteMinBatch(keys, vals, k)
+}
+
+// Handle exposes the underlying core handle (buffered-pop stats and the
+// buffered deletion mode) to harnesses that need more than the sched
+// interfaces.
+func (l *mqLocal) Handle() *core.Handle[int32] { return l.h }
 
 // skipAdapter adapts skiplist.SkipList (already goroutine-agnostic).
 type skipAdapter struct {

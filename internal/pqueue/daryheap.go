@@ -36,6 +36,15 @@ func (h *DAryHeap[V]) PeekMin() (Item[V], bool) {
 	return h.items[0], true
 }
 
+// MinKey returns the minimum key without copying the value, for cached-top
+// refreshes that only need the key.
+func (h *DAryHeap[V]) MinKey() (uint64, bool) {
+	if len(h.items) == 0 {
+		return 0, false
+	}
+	return h.items[0].Key, true
+}
+
 // PopMin removes and returns the minimum element.
 func (h *DAryHeap[V]) PopMin() (Item[V], bool) {
 	if len(h.items) == 0 {

@@ -11,12 +11,22 @@
 // entries are re-checked against workload state, so a relaxed queue trades a
 // bounded amount of wasted work (Stats.Stale, bounded via the paper's rank
 // bounds) for contention-free scaling.
+//
+// The executor can run batched (Config.Batch > 1): pushed successors are
+// buffered worker-locally and published k at a time, and pops refill a
+// worker-local buffer k at a time — one lock acquisition per k elements on
+// queues with native bulk operations (Batched). Batching adds bounded extra
+// relaxation: up to k−1 popped-but-unprocessed entries per worker are
+// invisible to other workers (the k-LSM's trade); for label-correcting
+// tasks this only costs extra Stats.Stale, never correctness, because every
+// entry is re-checked when processed.
 package sched
 
 import (
-	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"powerchoice/internal/backoff"
 )
 
 // Queue is the concurrent priority queue interface the executor requires:
@@ -27,6 +37,20 @@ import (
 type Queue[V any] interface {
 	Insert(key uint64, value V)
 	DeleteMin() (key uint64, value V, ok bool)
+}
+
+// Batched is implemented by queue views with native bulk operations that
+// move k elements per lock acquisition (core.Handle via pqadapt). The
+// executor uses it when Config.Batch > 1; queues without it still run
+// batched through a loop fallback (worker-local buffering still applies,
+// per-element shared-structure traffic remains).
+type Batched[V any] interface {
+	Queue[V]
+	// InsertBatch inserts all keys; keys and vals must have equal length.
+	InsertBatch(keys []uint64, vals []V)
+	// DeleteMinBatch removes up to k elements into keys/vals and returns
+	// the number removed; 0 means (relaxedly) empty.
+	DeleteMinBatch(keys []uint64, vals []V, k int) int
 }
 
 // WorkerLocal is implemented by queues whose hot paths want a per-goroutine
@@ -49,6 +73,16 @@ type Item[V any] struct {
 // workload state themselves (atomics, as in the SSSP distance array).
 type Task[V any] func(key uint64, value V, push func(key uint64, value V)) bool
 
+// Config bundles the executor's run parameters.
+type Config struct {
+	// Workers is the goroutine count (minimum 1).
+	Workers int
+	// Batch is the bulk-operation size k: pushed successors publish k at a
+	// time and pops refill a worker-local buffer of k. 0 or 1 runs the
+	// classic one-element-at-a-time loop.
+	Batch int
+}
+
 // Stats reports the executor's work counters.
 type Stats struct {
 	// Processed counts popped entries the task accepted.
@@ -61,6 +95,11 @@ type Stats struct {
 	// EmptyPops counts failed pops while other workers still held pending
 	// entries (idle spinning, not completed work).
 	EmptyPops int64
+	// BufferedPops counts entries served from a worker-local pop buffer
+	// rather than directly from the shared structure — the batching slack
+	// (≤ Batch−1 entries per worker are invisible to other workers at any
+	// time). Zero when running unbatched.
+	BufferedPops int64
 }
 
 // Run seeds the queue with the given items and executes the task across
@@ -78,16 +117,27 @@ func Run[V any](q Queue[V], workers int, task Task[V], seeds ...Item[V]) Stats {
 // entries, so that seeding (e.g. millions of job-server inserts) can happen
 // outside the caller's timed region.
 func RunPrefilled[V any](q Queue[V], workers int, task Task[V], preloaded int64) Stats {
+	return RunConfig(q, Config{Workers: workers}, task, preloaded)
+}
+
+// RunConfig is RunPrefilled with explicit executor configuration (batching).
+func RunConfig[V any](q Queue[V], cfg Config, task Task[V], preloaded int64) Stats {
+	workers := cfg.Workers
 	if workers < 1 {
 		workers = 1
 	}
+	batch := cfg.Batch
+	if batch < 1 {
+		batch = 1
+	}
 	// pending counts queue entries not yet fully processed; the run is done
 	// when it reaches zero. Incremented before each push, decremented after
-	// the popped entry is handled.
+	// the popped entry is handled. Entries sitting in worker-local insert or
+	// pop buffers are still pending, so batching cannot fake termination.
 	var pending atomic.Int64
 	pending.Add(preloaded)
 
-	var processed, stale, pushed, emptyPops atomic.Int64
+	var processed, stale, pushed, emptyPops, bufferedPops atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -97,29 +147,68 @@ func RunPrefilled[V any](q Queue[V], workers int, task Task[V], preloaded int64)
 			if wl, ok := q.(WorkerLocal[V]); ok {
 				view = wl.Local()
 			}
+			var bq Batched[V]
+			var popBuf *PopBuffer[V]
 			var localProc, localStale, localPush, localEmpty int64
+			// Worker-local buffers (batch mode). Pushed successors
+			// accumulate in ins* and publish k at a time; pops come through
+			// a PopBuffer, drained before the shared structure is
+			// re-sampled.
+			var insKeys []uint64
+			var insVals []V
+			if batch > 1 {
+				bq = AsBatched(view)
+				popBuf = NewPopBuffer[V](bq, batch)
+				insKeys = make([]uint64, 0, batch)
+				insVals = make([]V, 0, batch)
+			}
+			flush := func() {
+				if len(insKeys) > 0 {
+					bq.InsertBatch(insKeys, insVals)
+					insKeys = insKeys[:0]
+					insVals = insVals[:0]
+				}
+			}
 			push := func(key uint64, value V) {
 				localPush++
 				pending.Add(1)
+				if batch > 1 {
+					insKeys = append(insKeys, key)
+					insVals = append(insVals, value)
+					if len(insKeys) >= batch {
+						flush()
+					}
+					return
+				}
 				view.Insert(key, value)
 			}
-			idleSpins := 0
+			var bo backoff.Spinner
 			for {
 				if pending.Load() == 0 {
 					break
 				}
-				key, v, ok := view.DeleteMin()
+				var key uint64
+				var v V
+				var ok bool
+				if batch <= 1 {
+					key, v, ok = view.DeleteMin()
+				} else {
+					key, v, ok = popBuf.Pop()
+				}
 				if !ok {
 					// Queue momentarily (or relaxedly) empty while other
-					// workers still process entries that may spawn new ones.
-					localEmpty++
-					idleSpins++
-					if idleSpins%8 == 7 {
-						runtime.Gosched()
+					// workers still process entries that may spawn new ones —
+					// or our own successors are still sitting in the local
+					// insert buffer. Publish them before backing off: they
+					// may be the only pending work left.
+					if batch > 1 {
+						flush()
 					}
+					localEmpty++
+					bo.Spin()
 					continue
 				}
-				idleSpins = 0
+				bo.Reset()
 				if task(key, v, push) {
 					localProc++
 				} else {
@@ -127,17 +216,118 @@ func RunPrefilled[V any](q Queue[V], workers int, task Task[V], preloaded int64)
 				}
 				pending.Add(-1)
 			}
+			// pending == 0 implies both local buffers are empty: every
+			// buffered entry is counted in pending until processed.
 			processed.Add(localProc)
 			stale.Add(localStale)
 			pushed.Add(localPush)
 			emptyPops.Add(localEmpty)
+			if popBuf != nil {
+				bufferedPops.Add(popBuf.BufferedPops())
+			}
 		}()
 	}
 	wg.Wait()
 	return Stats{
-		Processed: processed.Load(),
-		Stale:     stale.Load(),
-		Pushed:    pushed.Load(),
-		EmptyPops: emptyPops.Load(),
+		Processed:    processed.Load(),
+		Stale:        stale.Load(),
+		Pushed:       pushed.Load(),
+		EmptyPops:    emptyPops.Load(),
+		BufferedPops: bufferedPops.Load(),
 	}
+}
+
+// AsBatched returns q's native Batched view when it has one, or a
+// per-element loop fallback otherwise — the same resolution the batched
+// executor applies, exported for harnesses that drive batch operations
+// directly (powerbench throughput/rank).
+func AsBatched[V any](q Queue[V]) Batched[V] {
+	if bq, ok := q.(Batched[V]); ok {
+		return bq
+	}
+	return loopBatched[V]{q}
+}
+
+// PopBuffer is a worker-local batched pop front over a queue view: Pop
+// serves elements from a local buffer refilled up to k at a time by
+// DeleteMinBatch. It is the single implementation of the refill/consume
+// state machine that the batched executor and the powerbench throughput and
+// rank harnesses all share, so their buffered-pop accounting cannot drift.
+// Not safe for concurrent use — each worker owns one.
+type PopBuffer[V any] struct {
+	bq     Batched[V]
+	keys   []uint64
+	vals   []V
+	pos, n int
+	served int64
+}
+
+// NewPopBuffer wraps q (resolving its native Batched view or the loop
+// fallback, as AsBatched does) with a buffer of k elements; k is clamped to
+// at least 1.
+func NewPopBuffer[V any](q Queue[V], k int) *PopBuffer[V] {
+	if k < 1 {
+		k = 1
+	}
+	return &PopBuffer[V]{
+		bq:   AsBatched(q),
+		keys: make([]uint64, k),
+		vals: make([]V, k),
+	}
+}
+
+// Pop returns the next element, refilling the buffer from the shared
+// structure when it is empty. ok=false is the underlying queue's relaxed
+// emptiness verdict (and implies the local buffer is empty too).
+func (p *PopBuffer[V]) Pop() (uint64, V, bool) {
+	if p.pos < p.n {
+		i := p.pos
+		p.pos++
+		p.served++
+		return p.keys[i], p.vals[i], true
+	}
+	n := p.bq.DeleteMinBatch(p.keys, p.vals, len(p.keys))
+	if n == 0 {
+		var zero V
+		return 0, zero, false
+	}
+	p.pos, p.n = 1, n
+	return p.keys[0], p.vals[0], true
+}
+
+// BufferedPops counts pops served from the buffer rather than directly as a
+// refill's first element — n−1 per full refill, the batching slack.
+func (p *PopBuffer[V]) BufferedPops() int64 { return p.served }
+
+// loopBatched adapts a plain Queue to Batched with per-element loops, so
+// batch mode runs against every implementation: worker-local buffering still
+// amortises executor overhead, while the shared structure keeps paying
+// per-element costs.
+type loopBatched[V any] struct {
+	Queue[V]
+}
+
+func (l loopBatched[V]) InsertBatch(keys []uint64, vals []V) {
+	for i := range keys {
+		l.Insert(keys[i], vals[i])
+	}
+}
+
+func (l loopBatched[V]) DeleteMinBatch(keys []uint64, vals []V, k int) int {
+	if k > len(keys) {
+		k = len(keys)
+	}
+	if k > len(vals) {
+		k = len(vals)
+	}
+	n := 0
+	for n < k {
+		key, v, ok := l.DeleteMin()
+		if !ok {
+			break
+		}
+		keys[n], vals[n] = key, v
+		n++
+	}
+	return n
 }
