@@ -5,6 +5,10 @@
 //	powerbench rank         rank quality of the line-up at the paper's n=8
 //	powerbench sweep        Figure 2: (1+β) MultiQueue rank vs β
 //	powerbench sssp         Figure 3: parallel SSSP timing
+//	powerbench astar        parallel A* on implicit obstacle grids
+//	powerbench jobs         closed-system priority job-server drain
+//	powerbench serve        open-system job server: sojourn latency at
+//	                        a target utilization ρ (Poisson arrivals)
 //
 // — and emits aligned tables, CSV (-csv), or JSON reports (-json, or -out
 // FILE alongside the table) that carry host metadata and the resolved

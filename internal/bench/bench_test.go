@@ -8,6 +8,7 @@ import (
 	"powerchoice/internal/graph"
 	"powerchoice/internal/klsm"
 	"powerchoice/internal/pqadapt"
+	"powerchoice/internal/xrand"
 )
 
 func TestThroughputValidates(t *testing.T) {
@@ -79,6 +80,27 @@ func TestThroughputCountsOnlySuccessfulOps(t *testing.T) {
 	if (empty.Ops+empty.EmptyPops)%2 != 0 {
 		t.Errorf("ops %d + empty pops %d not even: some attempt was double- or un-counted",
 			empty.Ops, empty.EmptyPops)
+	}
+}
+
+// TestThroughputSeedDomainSeparated: the harness's per-worker key streams
+// must come from a different stream family than the one the queue under test
+// derives from the same root seed (core.MultiQueue hands its handles
+// NewSharded(seed).Source(1), Source(2), …). Before the Tag fix, worker w's
+// keys were bit-identical to handle w's internal pick/coin stream.
+func TestThroughputSeedDomainSeparated(t *testing.T) {
+	const seed = 42
+	queueFamily := xrand.NewSharded(seed)
+	harnessFamily := xrand.NewSharded(xrand.Tag(seed, throughputSeedTag))
+	// Handle indices start at 1; sweep past any realistic worker count and
+	// include the prefill stream's index too.
+	for _, i := range []int{1, 2, 3, 4, 8, 16, 64, 1 << 20} {
+		q, h := queueFamily.Source(i), harnessFamily.Source(i)
+		for j := 0; j < 16; j++ {
+			if q.Uint64() == h.Uint64() {
+				t.Fatalf("shard %d draw %d: harness stream equals queue handle stream", i, j)
+			}
+		}
 	}
 }
 

@@ -1,8 +1,9 @@
 // Package driver implements the powerbench command line: one portable
-// benchmark driver with throughput, rank, sweep and sssp subcommands,
-// emitting aligned tables, CSV, or machine-readable JSON reports (see
-// bench.Report) from the same measured results. The legacy mqbench,
-// rankbench and ssspbench binaries are thin wrappers over this package.
+// benchmark driver with throughput, rank, sweep, sssp, astar, jobs and
+// serve subcommands, emitting aligned tables, CSV, or machine-readable JSON
+// reports (see bench.Report) from the same measured results. The legacy
+// mqbench, rankbench and ssspbench binaries are thin wrappers over this
+// package.
 package driver
 
 import (
@@ -32,6 +33,8 @@ Subcommands:
   sssp         parallel single-source shortest paths timing (Figure 3)
   astar        parallel A* on an implicit obstacle grid (non-monotone keys)
   jobs         priority job-server drain: inversions + per-class latency
+  serve        open-system job server: Poisson arrivals at target utilization
+               rho, per-class sojourn p50/p99 + queue-length timeseries
   help         print this message
 
 Every subcommand accepts -csv (CSV instead of an aligned table), -json
@@ -64,6 +67,8 @@ func Main(args []string, stdout, stderr io.Writer) error {
 		return runAStar(rest, stdout, stderr)
 	case "jobs":
 		return runJobs(rest, stdout, stderr)
+	case "serve":
+		return runServe(rest, stdout, stderr)
 	case "help", "-h", "--help":
 		fmt.Fprint(stdout, usageText)
 		return nil

@@ -255,6 +255,63 @@ func TestJobsJSONPerClassRows(t *testing.T) {
 	}
 }
 
+// TestServeJSONPerClassRows: powerbench serve emits one open-system summary
+// row (rho, offered rate, mean queue length) plus one sojourn row per
+// priority class, for every configured implementation.
+func TestServeJSONPerClassRows(t *testing.T) {
+	stdout, _ := runMain(t, "serve", "-jobs", "4000", "-classes", "3",
+		"-service", "256", "-rho", "0.3", "-threads", "1",
+		"-impls", "multiqueue,globallock", "-seed", "9", "-json")
+	var rep bench.Report
+	if err := json.Unmarshal([]byte(stdout), &rep); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, stdout)
+	}
+	if rep.Command != "serve" || len(rep.Rows) != 2*(1+3) {
+		t.Fatalf("want 2×(1 summary + 3 class rows): %+v", rep.Rows)
+	}
+	for impl := 0; impl < 2; impl++ {
+		sum := rep.Rows[impl*4]
+		if sum.Class != nil || sum.Jobs != 4000 || sum.Millis <= 0 {
+			t.Errorf("summary row: %+v", sum)
+		}
+		if sum.Rho != 0.3 || sum.Rate <= 0 || sum.QLenMean < 0 {
+			t.Errorf("summary open-system fields: %+v", sum)
+		}
+		var classJobs int64
+		for i, row := range rep.Rows[impl*4+1 : impl*4+4] {
+			if row.Class == nil || *row.Class != i {
+				t.Fatalf("class row %d: %+v", i, row)
+			}
+			if row.Jobs <= 0 || row.SojournP99Ms < row.SojournP50Ms || row.Rho != 0.3 {
+				t.Errorf("class row %d sojourns: %+v", i, row)
+			}
+			// The closed-system drain percentiles must stay absent: sojourn
+			// and drain latency are different metrics (EXPERIMENTS.md).
+			if row.P50Ms != 0 || row.P99Ms != 0 {
+				t.Errorf("class row %d carries drain percentiles: %+v", i, row)
+			}
+			classJobs += row.Jobs
+		}
+		if classJobs != 4000 {
+			t.Errorf("per-class jobs sum %d, want 4000", classJobs)
+		}
+	}
+}
+
+// TestServeRejectsBadFlags: a zero-load spec (rate and rho both 0) and an
+// unknown implementation both fail rather than silently measuring nothing.
+func TestServeRejectsBadFlags(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := Main([]string{"serve", "-jobs", "100", "-rho", "0", "-threads", "1",
+		"-impls", "globallock"}, &out, &errBuf); err == nil {
+		t.Error("rate=rho=0 accepted")
+	}
+	if err := Main([]string{"serve", "-jobs", "100", "-threads", "1",
+		"-impls", "bogus"}, &out, &errBuf); err == nil {
+		t.Error("bogus impl accepted")
+	}
+}
+
 func TestRankDefaultsToFullLineup(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs the whole line-up")

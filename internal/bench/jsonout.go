@@ -93,6 +93,18 @@ type Row struct {
 	InvWaiting int64   `json:"inv_waiting,omitempty"`
 	P50Ms      float64 `json:"p50_ms,omitempty"`
 	P99Ms      float64 `json:"p99_ms,omitempty"`
+
+	// Open-system job-server metrics (powerbench serve). Rho is the target
+	// utilization λ·E[S]/P, Rate the offered arrival rate in jobs/second.
+	// Sojourn percentiles are milliseconds from a job's arrival to its
+	// completion (wait + service) — not comparable with the closed-system
+	// p50_ms/p99_ms drain latencies (see EXPERIMENTS.md). QLenMean is the
+	// mean sampled pending-job count.
+	Rho          float64 `json:"rho,omitempty"`
+	Rate         float64 `json:"rate,omitempty"`
+	SojournP50Ms float64 `json:"sojourn_p50_ms,omitempty"`
+	SojournP99Ms float64 `json:"sojourn_p99_ms,omitempty"`
+	QLenMean     float64 `json:"qlen_mean,omitempty"`
 }
 
 // SetTopology copies a resolved topology into the row.

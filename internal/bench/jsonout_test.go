@@ -77,6 +77,19 @@ func pinnedReport() *Report {
 				Threads: 4, Class: intPtr(0), Jobs: 12_500, P50Ms: 2.125,
 				P99Ms: 13.75,
 			},
+			// An open-system serve summary row (target utilization, offered
+			// rate, mean queue length) and one of its per-class rows, whose
+			// percentiles are *sojourn* times, not drain latencies.
+			{
+				Impl: "onebeta75", Beta: floatPtr(0.75), Queues: 8, Choices: 2,
+				Threads: 4, Millis: 512.5, Jobs: 200_000, Inversions: 1234,
+				InvWaiting: 5678, Rho: 0.8, Rate: 1_562_500, QLenMean: 42.25,
+			},
+			{
+				Impl: "onebeta75", Beta: floatPtr(0.75), Queues: 8, Choices: 2,
+				Threads: 4, Class: intPtr(0), Jobs: 25_000, Rho: 0.8,
+				SojournP50Ms: 0.375, SojournP99Ms: 4.5,
+			},
 		},
 	}
 }

@@ -1,0 +1,104 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"powerchoice/internal/jobs"
+	"powerchoice/internal/pqadapt"
+)
+
+// ServeSpec configures one open-system job-server measurement (powerbench
+// serve): Poisson arrivals at a target utilization ρ (or an explicit rate)
+// served by Threads workers through the chosen queue implementation.
+type ServeSpec struct {
+	// Impl selects the queue implementation serving as the scheduler.
+	Impl pqadapt.Impl
+	// Queues fixes the internal queue count of MultiQueue implementations;
+	// 0 derives it from the host.
+	Queues int
+	// Jobs is the total number of arrivals (the measurement's exact end).
+	Jobs int
+	// Classes is the number of priority classes (0 = most urgent).
+	Classes int
+	// ServiceMean is the exact mean service time in spin units.
+	ServiceMean int
+	// Rate is the arrival rate λ in jobs/second; 0 derives it from Rho.
+	Rate float64
+	// Rho is the target utilization ρ = λ·E[S]/Threads (used when Rate is
+	// 0). ρ ≥ 1 configures deliberate overload.
+	Rho float64
+	// Producers is the arrival goroutine count (0 = 1).
+	Producers int
+	// Threads is the serving worker count.
+	Threads int
+	// Batch is the executor's bulk-operation size k (0 or 1 = unbatched).
+	Batch int
+	// Deadline optionally caps the injection window.
+	Deadline time.Duration
+	// Seed fixes workload and interarrival randomness.
+	Seed uint64
+}
+
+// ServeResult reports one open-system measurement.
+type ServeResult struct {
+	Elapsed time.Duration
+	// OfferedRate / AchievedRate are the configured λ and Injected/Elapsed.
+	OfferedRate  float64
+	AchievedRate float64
+	// Rho is the target utilization the run was configured for.
+	Rho float64
+	// Injected counts jobs actually injected (== Jobs unless the deadline
+	// cut injection); every injected job was served before return.
+	Injected int64
+	// Inversions / InvWaiting are the priority-inversion count and
+	// magnitude (see jobs.Result).
+	Inversions int64
+	InvWaiting int64
+	// BufferedPops counts jobs served from worker-local batch buffers.
+	BufferedPops int64
+	// QLenMean is the mean sampled queue length (pending jobs).
+	QLenMean float64
+	// PerClass holds per-class sojourn (wait + service) percentiles.
+	PerClass []jobs.ClassStats
+	// Topology records what the measured queue resolved to.
+	Topology pqadapt.Topology
+}
+
+// Serve runs one open-system job-server measurement.
+func Serve(spec ServeSpec) (ServeResult, error) {
+	if spec.Threads < 1 {
+		return ServeResult{}, fmt.Errorf("bench: threads %d < 1", spec.Threads)
+	}
+	q, err := pqadapt.NewSpec(pqadapt.Spec{Impl: spec.Impl, Queues: spec.Queues, Seed: spec.Seed})
+	if err != nil {
+		return ServeResult{}, err
+	}
+	topology := pqadapt.TopologyOf(spec.Impl, q)
+	res, err := jobs.RunOpen(jobs.OpenSpec{
+		Jobs:        spec.Jobs,
+		Classes:     spec.Classes,
+		ServiceMean: spec.ServiceMean,
+		Rate:        spec.Rate,
+		Rho:         spec.Rho,
+		Producers:   spec.Producers,
+		Deadline:    spec.Deadline,
+		Seed:        spec.Seed,
+	}, q, spec.Threads, spec.Batch)
+	if err != nil {
+		return ServeResult{}, err
+	}
+	return ServeResult{
+		Elapsed:      res.Elapsed,
+		OfferedRate:  res.OfferedRate,
+		AchievedRate: res.AchievedRate,
+		Rho:          res.Rho,
+		Injected:     res.Injected,
+		Inversions:   res.Inversions,
+		InvWaiting:   res.InvWaiting,
+		BufferedPops: res.Stats.BufferedPops,
+		QLenMean:     res.QLenMean,
+		PerClass:     res.PerClass,
+		Topology:     topology,
+	}, nil
+}

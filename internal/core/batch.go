@@ -98,6 +98,18 @@ func (h *Handle[V]) DeleteMinBatch(keys []uint64, vals []V, k int) int {
 	if k == 0 {
 		return 0
 	}
+	// Serve elements a prior DeleteMinBuffered left in the handle-local pop
+	// buffer before touching the shared structure: they are already removed
+	// from it and would otherwise be lost when a caller switches APIs
+	// (TestUnbufferedPopsDrainHandleBuffer). They were counted in h.deletes
+	// at batch-pop time, so only bufferedPops advances here.
+	if h.popPos < h.popLen {
+		n := copy(keys[:k], h.popKeys[h.popPos:h.popLen])
+		copy(vals[:n], h.popVals[h.popPos:h.popPos+n])
+		h.popPos += n
+		h.bufferedPops += int64(n)
+		return n
+	}
 	mq := h.mq
 	if mq.atomic {
 		return h.deleteMinBatchAtomic(keys, vals, k)
@@ -191,9 +203,11 @@ func (h *Handle[V]) deleteMinBatchAtomic(keys []uint64, vals []V, k int) int {
 // ≤ (k−1)·H rank slack, surfaced as HandleStats.Buffered/BufferedPops.
 //
 // ok=false means the buffer is empty AND a sweep found the shared structure
-// (relaxedly) empty. Callers must not interleave DeleteMin and
-// DeleteMinBuffered on the same handle expecting global order between them;
-// the buffer is only drained by DeleteMinBuffered.
+// (relaxedly) empty. Interleaving the pop APIs on one handle is safe:
+// DeleteMin and DeleteMinBatch also drain this buffer before re-sampling the
+// shared queues, so no already-removed element can be stranded — though
+// buffered elements still jump ahead of any lower keys inserted since their
+// batch was taken (the documented batching slack).
 func (h *Handle[V]) DeleteMinBuffered(k int) (uint64, V, bool) {
 	if h.popPos < h.popLen {
 		i := h.popPos

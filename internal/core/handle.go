@@ -130,7 +130,21 @@ func (h *Handle[V]) Insert(key uint64, value V) {
 // It returns ok=false when a full sweep of the cached tops finds every
 // queue empty; inserts still in flight at sweep time may be missed (relaxed
 // emptiness, see MultiQueue).
+//
+// Elements a prior DeleteMinBuffered left in the handle-local pop buffer are
+// served first: they are already removed from the shared structure, so
+// skipping them here would lose them for good (they used to be silently
+// stranded when a caller switched back to unbuffered pops —
+// TestUnbufferedPopsDrainHandleBuffer).
 func (h *Handle[V]) DeleteMin() (uint64, V, bool) {
+	if h.popPos < h.popLen {
+		// Deliberately no h.deletes++: the element was already counted when
+		// its batch was removed (DeleteMinBatch counts all n at pop time).
+		i := h.popPos
+		h.popPos++
+		h.bufferedPops++
+		return h.popKeys[i], h.popVals[i], true
+	}
 	mq := h.mq
 	if mq.atomic {
 		return h.deleteMinAtomic()

@@ -31,9 +31,11 @@ type Spec struct {
 	// Classes is the number of priority classes (class 0 is the most
 	// urgent; at most 256).
 	Classes int
-	// ServiceMean is the mean simulated service time in spin units (a unit
-	// is one iteration of a cheap arithmetic loop); service times are
-	// geometric-ish in [1, 2·ServiceMean).
+	// ServiceMean is the exact mean simulated service time in spin units (a
+	// unit is one iteration of a cheap arithmetic loop); service times are
+	// uniform on the integers [1, 2·ServiceMean), whose mean is exactly
+	// ServiceMean — the open-system ρ computation depends on that
+	// (TestGenerateServiceMeanExact pins it).
 	ServiceMean int
 	// Seed fixes class and service-time randomness.
 	Seed uint64
@@ -71,9 +73,24 @@ func Generate(spec Spec) (*Workload, error) {
 	}
 	for i := range w.Class {
 		w.Class[i] = uint8(rng.Intn(spec.Classes))
-		w.Service[i] = uint32(rng.Intn(2*spec.ServiceMean)) + 1
+		// Uniform on [1, 2·ServiceMean): the integers 1..2M-1, mean exactly
+		// M. The old Intn(2*M)+1 sampled [1, 2M] with mean M+0.5, quietly
+		// contradicting the doc and biasing any ρ = λ·E[S]/P computed from
+		// the nominal mean.
+		w.Service[i] = uint32(rng.Intn(2*spec.ServiceMean-1)) + 1
 	}
 	return w, nil
+}
+
+// ExpectedService returns the exact mean service time E[S], in spin units,
+// of the workload Generate draws for the spec — the value open-system
+// utilization targets are computed from.
+func (spec Spec) ExpectedService() float64 {
+	m := spec.ServiceMean
+	if m < 1 {
+		m = 1
+	}
+	return float64(m)
 }
 
 // Key returns job i's queue key: class in the high bits, submission order
@@ -153,22 +170,7 @@ func RunBatch(w *Workload, q sched.Queue[int32], workers, batch int) (Result, er
 
 	start := time.Now()
 	task := func(_ uint64, id int32, _ func(uint64, int32)) bool {
-		c := int(w.Class[id])
-		// Dequeued means no longer pending: decrement before the scan so
-		// "pending" measures jobs still waiting in the queue, not jobs
-		// another worker is currently serving — otherwise an exact queue
-		// with many workers would report inversions for the whole of every
-		// higher-priority job's service time.
-		classPending[c].Add(-1)
-		var waiting int64
-		for hc := 0; hc < c; hc++ {
-			waiting += classPending[hc].Load()
-		}
-		if waiting > 0 {
-			inversions.Add(1)
-			invWaiting.Add(waiting)
-		}
-		spin(w.Service[id], uint64(id))
+		serveJob(w, id, classPending, &inversions, &invWaiting)
 		completedAt[id] = time.Since(start).Nanoseconds()
 		return true
 	}
@@ -180,12 +182,41 @@ func RunBatch(w *Workload, q sched.Queue[int32], workers, batch int) (Result, er
 		c := w.Class[i]
 		perClass[c] = append(perClass[c], float64(completedAt[i])/1e6)
 	}
-	res := Result{
+	return Result{
 		Elapsed:    elapsed,
 		Inversions: inversions.Load(),
 		InvWaiting: invWaiting.Load(),
+		PerClass:   collectClassStats(perClass),
 		Stats:      st,
+	}, nil
+}
+
+// serveJob is the serving path the closed- and open-system runs share: mark
+// job id dequeued, count a priority inversion if any strictly
+// higher-priority job is still pending, and burn the job's service time.
+// The decrement happens before the scan so "pending" measures jobs still
+// waiting in the queue, not jobs another worker is currently serving —
+// otherwise an exact queue with many workers would report inversions for
+// the whole of every higher-priority job's service time. The scan is racy
+// by design (see Result.Inversions).
+func serveJob(w *Workload, id int32, classPending []atomic.Int64, inversions, invWaiting *atomic.Int64) {
+	c := int(w.Class[id])
+	classPending[c].Add(-1)
+	var waiting int64
+	for hc := 0; hc < c; hc++ {
+		waiting += classPending[hc].Load()
 	}
+	if waiting > 0 {
+		inversions.Add(1)
+		invWaiting.Add(waiting)
+	}
+	spin(w.Service[id], uint64(id))
+}
+
+// collectClassStats turns per-class latency samples (milliseconds) into the
+// ordered ClassStats slice both run modes report.
+func collectClassStats(perClass [][]float64) []ClassStats {
+	out := make([]ClassStats, 0, len(perClass))
 	for c, lats := range perClass {
 		cs := ClassStats{Class: c, Jobs: int64(len(lats))}
 		if len(lats) > 0 {
@@ -193,9 +224,9 @@ func RunBatch(w *Workload, q sched.Queue[int32], workers, batch int) (Result, er
 			cs.P99Ms = stats.Percentile(lats, 99)
 			cs.MeanMs = stats.Mean(lats)
 		}
-		res.PerClass = append(res.PerClass, cs)
+		out = append(out, cs)
 	}
-	return res, nil
+	return out
 }
 
 // spinSink defeats dead-code elimination of the service loop.

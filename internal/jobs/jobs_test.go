@@ -1,6 +1,7 @@
 package jobs
 
 import (
+	"math"
 	"testing"
 
 	"powerchoice/internal/pqadapt"
@@ -26,6 +27,37 @@ func TestGenerateValidates(t *testing.T) {
 		}
 		if w.Service[i] < 1 {
 			t.Fatalf("job %d service %d", i, w.Service[i])
+		}
+	}
+}
+
+// TestGenerateServiceMeanExact: service times are uniform on [1, 2M) with
+// mean exactly M = ServiceMean. The old sampler drew [1, 2M] (mean M+0.5),
+// which would bias every open-system ρ = λ·E[S]/P computed from the nominal
+// mean. The empirical mean of a uniform [1, 2M-1] sample of n jobs has
+// standard error < M/√(3n), so a 5σ band around M is a tight, deterministic
+// check under the fixed seed.
+func TestGenerateServiceMeanExact(t *testing.T) {
+	for _, m := range []int{1, 2, 8, 64} {
+		const n = 400000
+		w, err := Generate(Spec{Jobs: n, Classes: 2, ServiceMean: m, Seed: 13})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		for _, s := range w.Service {
+			if s < 1 || int(s) >= 2*m {
+				t.Fatalf("m=%d: service %d outside [1, %d)", m, s, 2*m)
+			}
+			sum += float64(s)
+		}
+		mean := sum / n
+		tol := 5 * float64(m) / math.Sqrt(3*n)
+		if math.Abs(mean-float64(m)) > tol {
+			t.Errorf("m=%d: empirical mean %.4f differs from %d by more than %.4f", m, mean, m, tol)
+		}
+		if got := w.Spec.ExpectedService(); got != float64(m) {
+			t.Errorf("ExpectedService = %v, want %d", got, m)
 		}
 	}
 }

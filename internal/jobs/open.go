@@ -1,0 +1,241 @@
+package jobs
+
+// Open-system job server: jobs arrive continuously (Poisson) while P
+// workers serve them from the shared (relaxed) priority queue. Where the
+// closed-system Run asks "how fast does a prefilled queue drain", this asks
+// the question a serving system asks: at a sustained utilization
+// ρ = λ·E[S]/P, what sojourn time (wait + service) does each priority class
+// see, and what does relaxation cost the urgent classes? This is the
+// real-world-constraints framing of Scully & Harchol-Balter (PAPERS.md):
+// the rank bound becomes a latency penalty at a given load, not a
+// drain-time delta.
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"powerchoice/internal/sched"
+)
+
+// OpenSpec configures an open-system job-server run.
+type OpenSpec struct {
+	// Jobs is the total number of arrivals injected (the run serves all of
+	// them to completion, so the measurement has an exact end).
+	Jobs int
+	// Classes is the number of priority classes (class 0 most urgent).
+	Classes int
+	// ServiceMean is the exact mean service time in spin units (see
+	// Spec.ServiceMean); the job population is drawn by Generate, so open
+	// and closed runs with equal (Jobs, Classes, ServiceMean, Seed) serve
+	// the identical job multiset.
+	ServiceMean int
+	// Rate is the total arrival rate λ in jobs per second. Leave 0 to
+	// derive it from Rho.
+	Rate float64
+	// Rho is the target utilization ρ = λ·E[S]/P. When Rate is 0, λ is
+	// derived as ρ·P/E[S] with E[S] converted to seconds through the spin
+	// calibration (SpinNsPerUnit). ρ ≥ 1 deliberately configures overload.
+	Rho float64
+	// Producers is the number of arrival goroutines (default 1). Their
+	// independent Poisson streams superpose to rate λ.
+	Producers int
+	// Deadline optionally stops injection early (see sched.OpenConfig).
+	Deadline time.Duration
+	// SampleEvery is the queue-length sampling period; 0 derives one aiming
+	// at ~256 samples over the expected injection window.
+	SampleEvery time.Duration
+	// Seed fixes workload and interarrival randomness.
+	Seed uint64
+}
+
+// OpenResult reports one open-system run.
+type OpenResult struct {
+	// Elapsed is the full wall time: injection window plus the
+	// drain-to-zero epilogue.
+	Elapsed time.Duration
+	// OfferedRate is the configured λ in jobs/second; AchievedRate is
+	// Injected/Elapsed, which sags below OfferedRate when the system is
+	// overloaded (the epilogue drains a standing queue) or the host cannot
+	// pace that fast.
+	OfferedRate  float64
+	AchievedRate float64
+	// Rho is the target utilization λ·E[S]/P the run was configured for,
+	// computed from the exact E[S] and the spin calibration. The spin loop
+	// is the only work rho accounts for; queue operations and measurement
+	// overhead add load on top, so effective utilization is somewhat
+	// higher — comparisons across implementations at equal Rho remain
+	// apples-to-apples.
+	Rho float64
+	// SpinNsPerUnit is the calibrated wall-time cost of one spin unit used
+	// for the ρ↔λ conversion.
+	SpinNsPerUnit float64
+	// Injected counts jobs actually injected (== Jobs unless Deadline cut
+	// injection short). Every injected job is served before the run
+	// returns.
+	Injected int64
+	// Inversions / InvWaiting count priority inversions exactly as in the
+	// closed-system Result, except a job only becomes "waiting" at its
+	// arrival instant.
+	Inversions int64
+	InvWaiting int64
+	// PerClass reports per-class *sojourn* times (arrival → completion,
+	// i.e. wait + service), not the closed-system drain latencies.
+	PerClass []ClassStats
+	// QLen is the queue-length (pending jobs) timeseries and QLenMean its
+	// mean — the open-system face of Little's law (E[N] = λ·E[sojourn]).
+	QLen     []int64
+	QLenMean float64
+	// Stats are the executor's counters.
+	Stats sched.OpenStats
+}
+
+// spinCal caches the spin-unit calibration: the conversion between the
+// simulated service times (spin units) and wall time, needed to target a
+// real utilization.
+var spinCal struct {
+	once sync.Once
+	ns   float64
+}
+
+// SpinNsPerUnit measures (once, then caches) the wall-time cost in
+// nanoseconds of one spin unit on this host. The minimum of a few reps is
+// taken so a stray descheduling cannot inflate the calibration.
+func SpinNsPerUnit() float64 {
+	spinCal.once.Do(func() {
+		const units = 1 << 21
+		best := math.MaxFloat64
+		for rep := 0; rep < 3; rep++ {
+			t0 := time.Now()
+			spin(units, uint64(rep)+1)
+			if d := float64(time.Since(t0).Nanoseconds()) / units; d < best {
+				best = d
+			}
+		}
+		spinCal.ns = best
+	})
+	return spinCal.ns
+}
+
+// RunOpen generates the job population from the spec and serves it as an
+// open system: spec.Producers goroutines inject Poisson arrivals at λ while
+// `workers` goroutines serve, through the sched executor with bulk size
+// `batch` (0 or 1 = unbatched). It returns when every injected job has been
+// served — the executor's drain-to-zero epilogue guarantees none is lost in
+// shared queues or worker-local batch buffers at shutdown.
+func RunOpen(spec OpenSpec, q sched.Queue[int32], workers, batch int) (OpenResult, error) {
+	if q == nil {
+		return OpenResult{}, fmt.Errorf("jobs: nil queue")
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	w, err := Generate(Spec{
+		Jobs: spec.Jobs, Classes: spec.Classes,
+		ServiceMean: spec.ServiceMean, Seed: spec.Seed,
+	})
+	if err != nil {
+		return OpenResult{}, err
+	}
+	nsPerUnit := SpinNsPerUnit()
+	serviceSec := w.Spec.ExpectedService() * nsPerUnit / 1e9
+	rate := spec.Rate
+	rho := spec.Rho
+	switch {
+	case rate > 0:
+		rho = rate * serviceSec / float64(workers)
+	case rho > 0:
+		rate = rho * float64(workers) / serviceSec
+	default:
+		return OpenResult{}, fmt.Errorf("jobs: open run needs Rate or Rho > 0")
+	}
+	producers := spec.Producers
+	if producers < 1 {
+		producers = 1
+	}
+	sampleEvery := spec.SampleEvery
+	if sampleEvery <= 0 {
+		// Aim at ~256 samples over the expected injection window, clamped
+		// so degenerate rates cannot produce a zero or glacial period.
+		window := float64(spec.Jobs) / rate * float64(time.Second)
+		sampleEvery = time.Duration(window / 256)
+		if sampleEvery < 100*time.Microsecond {
+			sampleEvery = 100 * time.Microsecond
+		}
+		if sampleEvery > 100*time.Millisecond {
+			sampleEvery = 100 * time.Millisecond
+		}
+	}
+
+	n := spec.Jobs
+	classes := spec.Classes
+	classPending := make([]atomic.Int64, classes)
+	arrivedAt := make([]int64, n)   // ns since start; -1 = never injected
+	completedAt := make([]int64, n) // ns since start; one writer per job
+	for i := range arrivedAt {
+		arrivedAt[i] = -1
+	}
+	var inversions, invWaiting atomic.Int64
+
+	start := time.Now()
+	// seq is RunOpen's dense global injection sequence (exactly
+	// 0..Injected-1 occur), so it doubles as the job id: the jobs actually
+	// injected are always a prefix of the generated workload, whichever
+	// producer's pacing stream delivered each one.
+	gen := func(_, seq int) sched.Item[int32] {
+		id := seq
+		classPending[w.Class[id]].Add(1)
+		arrivedAt[id] = time.Since(start).Nanoseconds()
+		return sched.Item[int32]{Key: w.Key(id), Value: int32(id)}
+	}
+	task := func(_ uint64, id int32, _ func(uint64, int32)) bool {
+		// Same serving path as the closed-system runs; here "pending" only
+		// counts jobs that have *arrived* but not yet been dequeued.
+		serveJob(w, id, classPending, &inversions, &invWaiting)
+		completedAt[id] = time.Since(start).Nanoseconds()
+		return true
+	}
+	st := sched.RunOpen(q, sched.OpenConfig{
+		Workers:     workers,
+		Batch:       batch,
+		Producers:   producers,
+		Rate:        rate,
+		Jobs:        int64(n),
+		Deadline:    spec.Deadline,
+		SampleEvery: sampleEvery,
+		Seed:        spec.Seed,
+	}, gen, task)
+	elapsed := time.Since(start)
+
+	perClass := make([][]float64, classes)
+	for id := 0; id < n; id++ {
+		if arrivedAt[id] < 0 {
+			continue // deadline cut injection before this job arrived
+		}
+		sojournMs := float64(completedAt[id]-arrivedAt[id]) / 1e6
+		perClass[w.Class[id]] = append(perClass[w.Class[id]], sojournMs)
+	}
+	res := OpenResult{
+		Elapsed:       elapsed,
+		OfferedRate:   rate,
+		AchievedRate:  float64(st.Injected) / elapsed.Seconds(),
+		Rho:           rho,
+		SpinNsPerUnit: nsPerUnit,
+		Injected:      st.Injected,
+		Inversions:    inversions.Load(),
+		InvWaiting:    invWaiting.Load(),
+		QLen:          st.QLen,
+		Stats:         st,
+	}
+	if len(st.QLen) > 0 {
+		var sum float64
+		for _, v := range st.QLen {
+			sum += float64(v)
+		}
+		res.QLenMean = sum / float64(len(st.QLen))
+	}
+	res.PerClass = collectClassStats(perClass)
+	return res, nil
+}

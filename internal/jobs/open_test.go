@@ -1,0 +1,168 @@
+package jobs
+
+import (
+	"testing"
+	"time"
+
+	"powerchoice/internal/pqadapt"
+)
+
+// TestRunOpenServesEveryArrival: the open-system server must serve every
+// injected job exactly once (none lost in shared queues or batch buffers at
+// shutdown) and report well-formed per-class sojourn stats, for relaxed and
+// exact implementations, batched and unbatched.
+func TestRunOpenServesEveryArrival(t *testing.T) {
+	n := 6000
+	if testing.Short() {
+		n = 1500
+	}
+	for _, impl := range []pqadapt.Impl{
+		pqadapt.ImplMultiQueue, pqadapt.ImplOneBeta75,
+		pqadapt.ImplKLSM, pqadapt.ImplGlobalLock,
+	} {
+		impl := impl
+		t.Run(string(impl), func(t *testing.T) {
+			for _, batch := range []int{0, 8} {
+				q, err := pqadapt.New(impl, 43)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := RunOpen(OpenSpec{
+					Jobs: n, Classes: 4, ServiceMean: 256,
+					Rho: 0.5, Producers: 2, Seed: 11,
+				}, q, 2, batch)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Injected != int64(n) {
+					t.Fatalf("batch=%d: injected %d of %d", batch, res.Injected, n)
+				}
+				if res.Stats.Processed != int64(n) || res.Stats.Stale != 0 {
+					t.Fatalf("batch=%d: processed %d stale %d, want %d / 0",
+						batch, res.Stats.Processed, res.Stats.Stale, n)
+				}
+				var total int64
+				for c, cs := range res.PerClass {
+					if cs.Class != c {
+						t.Fatalf("class order: %+v", res.PerClass)
+					}
+					if cs.Jobs > 0 && (cs.P99Ms < cs.P50Ms || cs.MeanMs <= 0) {
+						t.Fatalf("class %d sojourns malformed: %+v", c, cs)
+					}
+					total += cs.Jobs
+				}
+				if total != int64(n) {
+					t.Fatalf("batch=%d: per-class jobs sum %d, want %d", batch, total, n)
+				}
+				if res.Rho != 0.5 || res.OfferedRate <= 0 || res.SpinNsPerUnit <= 0 {
+					t.Errorf("batch=%d: load parameters: %+v", batch, res)
+				}
+				if len(res.QLen) == 0 {
+					t.Errorf("batch=%d: no queue-length samples", batch)
+				}
+			}
+		})
+	}
+}
+
+// TestRunOpenRateRhoConversion: Rate and Rho are two views of the same load
+// through E[S] and the calibration: configuring either must report both
+// consistently.
+func TestRunOpenRateRhoConversion(t *testing.T) {
+	const workers = 2
+	q, err := pqadapt.New(pqadapt.ImplGlobalLock, 47)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byRho, err := RunOpen(OpenSpec{
+		Jobs: 500, Classes: 2, ServiceMean: 256, Rho: 0.4, Seed: 3,
+	}, q, workers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	es := byRho.SpinNsPerUnit * 256 / 1e9
+	if got := byRho.OfferedRate * es / workers; !approxEq(got, 0.4) {
+		t.Errorf("rho-configured run: rate %.0f implies rho %.3f, want 0.4", byRho.OfferedRate, got)
+	}
+	q2, err := pqadapt.New(pqadapt.ImplGlobalLock, 47)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byRate, err := RunOpen(OpenSpec{
+		Jobs: 500, Classes: 2, ServiceMean: 256, Rate: byRho.OfferedRate, Seed: 3,
+	}, q2, workers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approxEq(byRate.Rho, byRho.Rho) {
+		t.Errorf("rate-configured run reports rho %.4f, rho-configured %.4f", byRate.Rho, byRho.Rho)
+	}
+}
+
+func approxEq(a, b float64) bool {
+	d := a - b
+	return d < 1e-9 && d > -1e-9
+}
+
+// TestRunOpenValidates: bad specs are rejected up front.
+func TestRunOpenValidates(t *testing.T) {
+	q, err := pqadapt.New(pqadapt.ImplGlobalLock, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunOpen(OpenSpec{Jobs: 10, Classes: 2, Rho: 0.5}, nil, 1, 0); err == nil {
+		t.Error("nil queue accepted")
+	}
+	if _, err := RunOpen(OpenSpec{Jobs: 10, Classes: 2}, q, 1, 0); err == nil {
+		t.Error("spec without Rate or Rho accepted")
+	}
+	if _, err := RunOpen(OpenSpec{Jobs: 0, Classes: 2, Rho: 0.5}, q, 1, 0); err == nil {
+		t.Error("0 jobs accepted")
+	}
+	if _, err := RunOpen(OpenSpec{Jobs: 10, Classes: 0, Rho: 0.5}, q, 1, 0); err == nil {
+		t.Error("0 classes accepted")
+	}
+}
+
+// TestRunOpenDeadline: a deadline stops injection early but every job that
+// did arrive is served and accounted in the per-class sums.
+func TestRunOpenDeadline(t *testing.T) {
+	q, err := pqadapt.New(pqadapt.ImplMultiQueue, 53)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunOpen(OpenSpec{
+		// 1e6 jobs at ~20k/s would run ~50s; the 40ms deadline cuts it.
+		Jobs: 1_000_000, Classes: 3, ServiceMean: 64, Rate: 20000,
+		Deadline: 40 * time.Millisecond, Seed: 17,
+	}, q, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Injected == 0 || res.Injected >= 1_000_000 {
+		t.Fatalf("deadline did not bound injection: %d", res.Injected)
+	}
+	if res.Stats.Processed != res.Injected {
+		t.Fatalf("processed %d != injected %d", res.Stats.Processed, res.Injected)
+	}
+	var total int64
+	for _, cs := range res.PerClass {
+		total += cs.Jobs
+	}
+	if total != res.Injected {
+		t.Fatalf("per-class jobs sum %d, want injected %d", total, res.Injected)
+	}
+}
+
+// TestSpinCalibrationStable: the calibration is positive, cached, and in a
+// plausible range (a spin unit is one LCG step — well under a microsecond).
+func TestSpinCalibrationStable(t *testing.T) {
+	a := SpinNsPerUnit()
+	b := SpinNsPerUnit()
+	if a != b {
+		t.Errorf("calibration not cached: %v then %v", a, b)
+	}
+	if a <= 0 || a > 1000 {
+		t.Errorf("ns/unit = %v outside (0, 1000]", a)
+	}
+}

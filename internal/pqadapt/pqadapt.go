@@ -271,8 +271,15 @@ type klsmLocal struct {
 	h *klsm.Handle[int32]
 }
 
+var _ sched.Flusher = (*klsmLocal)(nil)
+
 func (l *klsmLocal) Insert(key uint64, node int32)    { l.h.Insert(key, node) }
 func (l *klsmLocal) DeleteMin() (uint64, int32, bool) { return l.h.DeleteMin() }
+
+// Flush publishes inserts still buffered in this view (sched.Flusher) —
+// required by goroutines that stop inserting while others keep consuming,
+// e.g. open-system producers.
+func (l *klsmLocal) Flush() { l.h.Flush() }
 
 // lockedHeap is the global-lock baseline: a binary heap behind one mutex.
 type lockedHeap struct {

@@ -1,0 +1,245 @@
+package sched
+
+// This file is the open-system half of the executor: producers inject work
+// at a configured rate while workers drain. The closed-system entry points
+// (Run/RunConfig) measure how fast a prefilled queue drains; RunOpen
+// measures how a relaxed scheduler behaves under *sustained load* — the
+// real-world-constraints framing of Scully & Harchol-Balter (PAPERS.md),
+// where the interesting metric is sojourn time at a target utilization, not
+// drain wall time.
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"powerchoice/internal/xrand"
+)
+
+// openSeedTag domain-separates producer interarrival streams from every
+// other stream family derived from the same root seed (notably the queue
+// under test's internal per-handle streams — see xrand.Tag).
+const openSeedTag = "sched.open"
+
+// OpenConfig bundles RunOpen's parameters.
+type OpenConfig struct {
+	// Workers is the consuming goroutine count (minimum 1).
+	Workers int
+	// Batch is the workers' bulk-operation size k, exactly as in
+	// Config.Batch. Producers always insert one element at a time — arrivals
+	// are paced individually, so batching them would distort the process.
+	Batch int
+	// Producers is the number of injecting goroutines (minimum 1). The
+	// superposition of their independent Poisson streams is a Poisson
+	// process of the full configured rate.
+	Producers int
+	// Rate is the total target arrival rate in items per second across all
+	// producers. Interarrival times are exponential (Poisson arrivals),
+	// drawn from deterministic per-producer streams. Rate <= 0 injects with
+	// no pacing at all — a stress mode, not an open-system measurement.
+	Rate float64
+	// Jobs is the total number of items to inject, split evenly across
+	// producers; the run terminates when all injected items are served.
+	// Jobs <= 0 injects nothing and returns immediately.
+	Jobs int64
+	// Deadline, when positive, stops injection (not service) once that much
+	// time has elapsed since the run started: the run then drains what was
+	// injected and returns with Injected < Jobs. Termination is therefore
+	// by total-jobs-served or by deadline, never by the queue looking empty.
+	Deadline time.Duration
+	// SampleEvery, when positive, samples the pending count (injected but
+	// not yet served — queued plus in service) on that period into
+	// OpenStats.QLen, the queue-length timeseries.
+	SampleEvery time.Duration
+	// Seed fixes the interarrival randomness.
+	Seed uint64
+}
+
+// OpenStats reports an open-system run: the executor's work counters plus
+// the injection-side accounting.
+type OpenStats struct {
+	Stats
+	// Injected counts items actually injected — equal to OpenConfig.Jobs
+	// unless the deadline cut injection short. Exactness invariant: at
+	// return, Processed + Stale == Injected + Pushed (no in-flight or
+	// batch-buffered item is lost at shutdown).
+	Injected int64
+	// QLen holds the pending-count samples (empty unless SampleEvery > 0).
+	QLen []int64
+}
+
+// RunOpen runs an open system: cfg.Producers goroutines inject the items
+// gen returns at Poisson-process rate cfg.Rate, while cfg.Workers
+// goroutines drain the queue through task. gen(p, seq) is called at
+// injection time (so the caller can timestamp arrivals); seq is a dense
+// 0-based global injection sequence — unique across producers, with
+// exactly the values 0..Injected-1 occurring — so callers can index
+// pre-generated workloads directly without knowing how the quota is split
+// among producers. p identifies the producer whose pacing stream produced
+// the arrival.
+//
+// Unlike the closed-system runners, a failed pop here usually means the
+// system is momentarily empty because the next arrival has not happened
+// yet, so workers never treat it as termination; they exit only when the
+// producers are done AND the pending counter is zero. The counter is
+// incremented before each insert and decremented only after the popped item
+// is fully processed, so the drain-to-zero epilogue is exact even when
+// items sit in worker-local batch buffers: pending == 0 implies every
+// buffer is empty and every injected item was served.
+func RunOpen[V any](q Queue[V], cfg OpenConfig, gen func(producer, seq int) Item[V], task Task[V]) OpenStats {
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	producers := cfg.Producers
+	if producers < 1 {
+		producers = 1
+	}
+	batch := cfg.Batch
+	if batch < 1 {
+		batch = 1
+	}
+	totalJobs := cfg.Jobs
+	if totalJobs < 0 {
+		totalJobs = 0
+	}
+
+	var pending atomic.Int64
+	var producersDone atomic.Bool
+	var injected atomic.Int64
+	var tot workerTotals
+
+	start := time.Now()
+	sh := xrand.NewSharded(xrand.Tag(cfg.Seed, openSeedTag))
+
+	// Producers. Each runs its own Poisson stream of rate Rate/producers
+	// (their superposition is Poisson at the full rate): interarrival gaps
+	// are summed into a virtual schedule so pacing error does not
+	// accumulate (a slow insert borrows from the next gap instead of
+	// shifting the whole schedule). The even quota split only bounds each
+	// producer's share; item identity comes from the global injection
+	// sequence, not from the split.
+	var prodWG sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		quota := totalJobs / int64(producers)
+		if int64(p) < totalJobs%int64(producers) {
+			quota++
+		}
+		prodWG.Add(1)
+		go func(p int, quota int64) {
+			defer prodWG.Done()
+			view := q
+			if wl, ok := q.(WorkerLocal[V]); ok {
+				view = wl.Local()
+			}
+			// A view with local insert buffering (k-LSM) must publish its
+			// tail when this producer exits, or those items stay invisible
+			// and the drain epilogue deadlocks. Runs before prodWG.Done, so
+			// producersDone can only be observed after every flush.
+			if f, ok := view.(Flusher); ok {
+				defer f.Flush()
+			}
+			rng := sh.Source(p)
+			meanGap := float64(0)
+			if cfg.Rate > 0 {
+				meanGap = float64(producers) / cfg.Rate * float64(time.Second)
+			}
+			var schedule time.Duration
+			for i := int64(0); i < quota; i++ {
+				if meanGap > 0 {
+					schedule += time.Duration(meanGap * rng.ExpFloat64())
+					// An arrival scheduled past the deadline will never be
+					// injected — exit without sleeping toward it, so the
+					// injection window cannot overshoot the deadline by an
+					// interarrival gap (unbounded at low rates).
+					if cfg.Deadline > 0 && schedule > cfg.Deadline {
+						return
+					}
+					sleepUntil(start, schedule)
+				}
+				if cfg.Deadline > 0 && time.Since(start) > cfg.Deadline {
+					return
+				}
+				seq := injected.Add(1) - 1
+				it := gen(p, int(seq))
+				// Order matters: the item must be pending before it is
+				// visible to any worker, or a fast pop could decrement
+				// pending below zero and fake termination.
+				pending.Add(1)
+				view.Insert(it.Key, it.Value)
+			}
+		}(p, quota)
+	}
+
+	// Queue-length sampler.
+	var qlen []int64
+	samplerStop := make(chan struct{})
+	var samplerWG sync.WaitGroup
+	if cfg.SampleEvery > 0 {
+		samplerWG.Add(1)
+		go func() {
+			defer samplerWG.Done()
+			tick := time.NewTicker(cfg.SampleEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					qlen = append(qlen, pending.Load())
+				case <-samplerStop:
+					return
+				}
+			}
+		}()
+	}
+
+	// Workers: the shared workerLoop with open-system termination and idle
+	// behavior. Termination: the producersDone load happens before the
+	// pending load — done is set only after every producer's final
+	// pending.Add(1), so observing done && pending==0 proves every injected
+	// item has been fully served. Idle: yield the processor to the
+	// producers instead of climbing a backoff ladder — arrivals are paced
+	// in real time, so burning the core would starve the very goroutines
+	// that end the wait.
+	var workWG sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		workWG.Add(1)
+		go func() {
+			defer workWG.Done()
+			workerLoop(q, batch, task, &pending, &tot,
+				func() bool { return producersDone.Load() && pending.Load() == 0 },
+				runtime.Gosched, func() {})
+		}()
+	}
+
+	prodWG.Wait()
+	producersDone.Store(true)
+	workWG.Wait()
+	close(samplerStop)
+	samplerWG.Wait()
+
+	return OpenStats{
+		Stats:    tot.stats(),
+		Injected: injected.Load(),
+		QLen:     qlen,
+	}
+}
+
+// sleepUntil pauses until target time has elapsed since start. Long waits
+// sleep (freeing the core for workers); the final stretch is handed to the
+// scheduler in yields, because time.Sleep's wake-up granularity (tens of
+// microseconds) would otherwise floor the achievable arrival rate.
+func sleepUntil(start time.Time, target time.Duration) {
+	const spinWindow = 100 * time.Microsecond
+	for {
+		remaining := target - time.Since(start)
+		if remaining <= 0 {
+			return
+		}
+		if remaining > spinWindow {
+			time.Sleep(remaining - spinWindow)
+			continue
+		}
+		runtime.Gosched()
+	}
+}

@@ -1,0 +1,97 @@
+package sched_test
+
+import (
+	"testing"
+
+	"powerchoice/internal/pqadapt"
+	"powerchoice/internal/sched"
+)
+
+// TestPopBufferRefillsAfterEmptyVerdict: a relaxed-empty verdict (ok=false)
+// must not poison the buffer — once the underlying queue has elements again,
+// the next Pop refills and succeeds. This is the open-system pattern: the
+// queue drains between arrivals and Pop keeps being retried.
+func TestPopBufferRefillsAfterEmptyVerdict(t *testing.T) {
+	q, err := pqadapt.New(pqadapt.ImplGlobalLock, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb := sched.NewPopBuffer[int32](q, 4)
+	if _, _, ok := pb.Pop(); ok {
+		t.Fatal("pop on empty queue succeeded")
+	}
+	q.Insert(7, 7)
+	q.Insert(3, 3)
+	key, _, ok := pb.Pop()
+	if !ok || key != 3 {
+		t.Fatalf("pop after refill = (%d, %v), want (3, true)", key, ok)
+	}
+	if key, _, ok = pb.Pop(); !ok || key != 7 {
+		t.Fatalf("second pop = (%d, %v), want (7, true)", key, ok)
+	}
+	if _, _, ok = pb.Pop(); ok {
+		t.Fatal("pop on drained queue succeeded")
+	}
+	// The two elements landed in one partial refill of 2: the refill's first
+	// element is served directly, only the second counts as buffered.
+	if got := pb.BufferedPops(); got != 1 {
+		t.Errorf("BufferedPops = %d, want 1", got)
+	}
+}
+
+// TestPopBufferK1DegeneratesToUnbatched: with k=1 every Pop is a direct
+// refill of one element — nothing is ever served from the buffer, so
+// BufferedPops stays zero and no element is held invisible.
+func TestPopBufferK1DegeneratesToUnbatched(t *testing.T) {
+	q, err := pqadapt.New(pqadapt.ImplGlobalLock, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 100
+	for i := int32(0); i < n; i++ {
+		q.Insert(uint64(i), i)
+	}
+	// k < 1 clamps to 1, the same degenerate case.
+	for _, k := range []int{1, 0, -3} {
+		pb := sched.NewPopBuffer[int32](q, k)
+		for i := 0; i < n/4; i++ {
+			if _, _, ok := pb.Pop(); !ok {
+				t.Fatalf("k=%d pop %d failed", k, i)
+			}
+		}
+		if got := pb.BufferedPops(); got != 0 {
+			t.Errorf("k=%d: BufferedPops = %d, want 0", k, got)
+		}
+	}
+}
+
+// TestPopBufferAccountingAcrossPartialRefills: BufferedPops counts exactly
+// n−1 per refill of n — full and partial refills alike — never the refill's
+// first element.
+func TestPopBufferAccountingAcrossPartialRefills(t *testing.T) {
+	q, err := pqadapt.New(pqadapt.ImplGlobalLock, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb := sched.NewPopBuffer[int32](q, 4)
+	var wantBuffered int64
+	// Phases sized to force refills of 4 (full), 3, 1 (partial): each phase
+	// inserts m elements into the drained queue, then pops them all.
+	for _, m := range []int{4, 3, 1} {
+		for i := 0; i < m; i++ {
+			q.Insert(uint64(i), int32(i))
+		}
+		for i := 0; i < m; i++ {
+			if _, _, ok := pb.Pop(); !ok {
+				t.Fatalf("phase m=%d pop %d failed", m, i)
+			}
+		}
+		wantBuffered += int64(m - 1)
+		if got := pb.BufferedPops(); got != wantBuffered {
+			t.Fatalf("after phase m=%d: BufferedPops = %d, want %d", m, got, wantBuffered)
+		}
+	}
+	if _, _, ok := pb.Pop(); ok {
+		t.Fatal("pop on drained queue succeeded")
+	}
+}

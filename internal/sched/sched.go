@@ -60,6 +60,17 @@ type WorkerLocal[V any] interface {
 	Local() Queue[V]
 }
 
+// Flusher is implemented by queue views that buffer inserts view-locally
+// and publish them in batches (the k-LSM handle). A goroutine that stops
+// using such a view while others keep consuming — an open-system producer —
+// must Flush on exit, or its buffered elements stay invisible forever and
+// the run deadlocks waiting for them. Closed-system workers never need
+// this: a view's own DeleteMin sees its own buffered inserts, and every
+// worker keeps popping until global termination.
+type Flusher interface {
+	Flush()
+}
+
 // Item is one (key, value) work unit.
 type Item[V any] struct {
 	Key   uint64
@@ -137,103 +148,135 @@ func RunConfig[V any](q Queue[V], cfg Config, task Task[V], preloaded int64) Sta
 	var pending atomic.Int64
 	pending.Add(preloaded)
 
-	var processed, stale, pushed, emptyPops, bufferedPops atomic.Int64
+	var tot workerTotals
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			view := q
-			if wl, ok := q.(WorkerLocal[V]); ok {
-				view = wl.Local()
-			}
-			var bq Batched[V]
-			var popBuf *PopBuffer[V]
-			var localProc, localStale, localPush, localEmpty int64
-			// Worker-local buffers (batch mode). Pushed successors
-			// accumulate in ins* and publish k at a time; pops come through
-			// a PopBuffer, drained before the shared structure is
-			// re-sampled.
-			var insKeys []uint64
-			var insVals []V
-			if batch > 1 {
-				bq = AsBatched(view)
-				popBuf = NewPopBuffer[V](bq, batch)
-				insKeys = make([]uint64, 0, batch)
-				insVals = make([]V, 0, batch)
-			}
-			flush := func() {
-				if len(insKeys) > 0 {
-					bq.InsertBatch(insKeys, insVals)
-					insKeys = insKeys[:0]
-					insVals = insVals[:0]
-				}
-			}
-			push := func(key uint64, value V) {
-				localPush++
-				pending.Add(1)
-				if batch > 1 {
-					insKeys = append(insKeys, key)
-					insVals = append(insVals, value)
-					if len(insKeys) >= batch {
-						flush()
-					}
-					return
-				}
-				view.Insert(key, value)
-			}
 			var bo backoff.Spinner
-			for {
-				if pending.Load() == 0 {
-					break
-				}
-				var key uint64
-				var v V
-				var ok bool
-				if batch <= 1 {
-					key, v, ok = view.DeleteMin()
-				} else {
-					key, v, ok = popBuf.Pop()
-				}
-				if !ok {
-					// Queue momentarily (or relaxedly) empty while other
-					// workers still process entries that may spawn new ones —
-					// or our own successors are still sitting in the local
-					// insert buffer. Publish them before backing off: they
-					// may be the only pending work left.
-					if batch > 1 {
-						flush()
-					}
-					localEmpty++
-					bo.Spin()
-					continue
-				}
-				bo.Reset()
-				if task(key, v, push) {
-					localProc++
-				} else {
-					localStale++
-				}
-				pending.Add(-1)
-			}
-			// pending == 0 implies both local buffers are empty: every
-			// buffered entry is counted in pending until processed.
-			processed.Add(localProc)
-			stale.Add(localStale)
-			pushed.Add(localPush)
-			emptyPops.Add(localEmpty)
-			if popBuf != nil {
-				bufferedPops.Add(popBuf.BufferedPops())
-			}
+			workerLoop(q, batch, task, &pending, &tot,
+				func() bool { return pending.Load() == 0 },
+				bo.Spin, bo.Reset)
 		}()
 	}
 	wg.Wait()
+	return tot.stats()
+}
+
+// workerTotals accumulates every worker's local counters into one shared
+// Stats (workers add once at exit, not per operation).
+type workerTotals struct {
+	processed, stale, pushed, emptyPops, bufferedPops atomic.Int64
+}
+
+func (t *workerTotals) stats() Stats {
 	return Stats{
-		Processed:    processed.Load(),
-		Stale:        stale.Load(),
-		Pushed:       pushed.Load(),
-		EmptyPops:    emptyPops.Load(),
-		BufferedPops: bufferedPops.Load(),
+		Processed:    t.processed.Load(),
+		Stale:        t.stale.Load(),
+		Pushed:       t.pushed.Load(),
+		EmptyPops:    t.emptyPops.Load(),
+		BufferedPops: t.bufferedPops.Load(),
+	}
+}
+
+// resolveView returns the per-goroutine view of q when it offers one
+// (WorkerLocal), else q itself.
+func resolveView[V any](q Queue[V]) Queue[V] {
+	if wl, ok := q.(WorkerLocal[V]); ok {
+		return wl.Local()
+	}
+	return q
+}
+
+// workerLoop is the per-worker state machine shared by the closed-system
+// runners and the open-system RunOpen: resolve the goroutine's queue view
+// and (in batch mode) its local insert buffer and PopBuffer, then pop,
+// process, and account until done() reports termination. done is checked
+// before every pop; idle runs after an unproductive pop (local insert
+// buffers already flushed — they may hold the only pending work left);
+// progress runs after each productive pop (e.g. to reset a backoff ladder).
+// Must be called on the worker's own goroutine: the view and buffers it
+// resolves are goroutine-local.
+func workerLoop[V any](q Queue[V], batch int, task Task[V], pending *atomic.Int64,
+	tot *workerTotals, done func() bool, idle, progress func()) {
+	view := resolveView(q)
+	var bq Batched[V]
+	var popBuf *PopBuffer[V]
+	var localProc, localStale, localPush, localEmpty int64
+	// Worker-local buffers (batch mode). Pushed successors accumulate in
+	// ins* and publish k at a time; pops come through a PopBuffer, drained
+	// before the shared structure is re-sampled.
+	var insKeys []uint64
+	var insVals []V
+	if batch > 1 {
+		bq = AsBatched(view)
+		popBuf = NewPopBuffer[V](bq, batch)
+		insKeys = make([]uint64, 0, batch)
+		insVals = make([]V, 0, batch)
+	}
+	flush := func() {
+		if len(insKeys) > 0 {
+			bq.InsertBatch(insKeys, insVals)
+			insKeys = insKeys[:0]
+			insVals = insVals[:0]
+		}
+	}
+	push := func(key uint64, value V) {
+		localPush++
+		pending.Add(1)
+		if batch > 1 {
+			insKeys = append(insKeys, key)
+			insVals = append(insVals, value)
+			if len(insKeys) >= batch {
+				flush()
+			}
+			return
+		}
+		view.Insert(key, value)
+	}
+	for {
+		if done() {
+			break
+		}
+		var key uint64
+		var v V
+		var ok bool
+		if batch <= 1 {
+			key, v, ok = view.DeleteMin()
+		} else {
+			key, v, ok = popBuf.Pop()
+		}
+		if !ok {
+			// Queue momentarily (or relaxedly) empty: other workers may
+			// still process entries that spawn new ones, the next
+			// open-system arrival may not have happened yet — or our own
+			// successors are still sitting in the local insert buffer.
+			// Publish them before idling: they may be the only pending work
+			// left.
+			if batch > 1 {
+				flush()
+			}
+			localEmpty++
+			idle()
+			continue
+		}
+		progress()
+		if task(key, v, push) {
+			localProc++
+		} else {
+			localStale++
+		}
+		pending.Add(-1)
+	}
+	// done() implies both local buffers are empty for the closed system:
+	// every buffered entry is counted in pending until processed.
+	tot.processed.Add(localProc)
+	tot.stale.Add(localStale)
+	tot.pushed.Add(localPush)
+	tot.emptyPops.Add(localEmpty)
+	if popBuf != nil {
+		tot.bufferedPops.Add(popBuf.BufferedPops())
 	}
 }
 

@@ -30,6 +30,37 @@ func TestDistinctSeedsDiffer(t *testing.T) {
 	}
 }
 
+// TestTagSeparatesStreamFamilies: a tagged seed's Sharded family must be
+// disjoint from the untagged family at every (small) shard index — the
+// regression class here is a benchmark harness and the queue under test both
+// deriving NewSharded(seed).Source(i) and silently sharing generators.
+func TestTagSeparatesStreamFamilies(t *testing.T) {
+	const seed = 42
+	if Tag(seed, "a") != Tag(seed, "a") {
+		t.Fatal("Tag not deterministic")
+	}
+	if Tag(seed, "a") == Tag(seed, "b") {
+		t.Error("distinct tags collide")
+	}
+	if Tag(seed, "a") == seed {
+		t.Error("Tag is the identity")
+	}
+	plain := NewSharded(seed)
+	tagged := NewSharded(Tag(seed, "bench.throughput"))
+	for i := 0; i < 64; i++ {
+		a, b := plain.Source(i), tagged.Source(i)
+		same := 0
+		for j := 0; j < 16; j++ {
+			if a.Uint64() == b.Uint64() {
+				same++
+			}
+		}
+		if same > 0 {
+			t.Fatalf("shard %d: tagged and untagged streams agree on %d of 16 draws", i, same)
+		}
+	}
+}
+
 func TestSeedResets(t *testing.T) {
 	s := NewSource(7)
 	first := make([]uint64, 16)
