@@ -1,8 +1,10 @@
 // Quickstart: the smallest useful program against the public API.
 //
-// It builds a (1+β) MultiQueue, feeds it a batch of prioritised jobs from
-// several goroutines, drains it concurrently, and prints what came out and
-// how far from the true priority order the relaxed queue strayed.
+// It builds a (1+β) MultiQueue, feeds it prioritised jobs from several
+// goroutines through the batched fast path (one internal lock acquisition
+// per batch instead of one per job), drains it with buffered pops, and
+// prints what came out and how far from the true priority order the relaxed
+// queue strayed.
 //
 // Run with: go run ./examples/quickstart
 package main
@@ -28,7 +30,9 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Produce: four goroutines insert prioritised jobs.
+	// Produce: four goroutines insert prioritised jobs, one batch each —
+	// a batch moves under a single lock acquisition, so producers that
+	// generate work in groups pay the queue's overhead once per batch.
 	const producers = 4
 	const jobsPerProducer = 8
 	var wg sync.WaitGroup
@@ -37,20 +41,26 @@ func main() {
 		go func(p int) {
 			defer wg.Done()
 			h := q.NewHandle() // one handle per goroutine on hot paths
+			keys := make([]uint64, jobsPerProducer)
+			vals := make([]string, jobsPerProducer)
 			for j := 0; j < jobsPerProducer; j++ {
-				priority := uint64(p + producers*j)
-				h.Insert(priority, fmt.Sprintf("job-p%d-#%d", p, j))
+				keys[j] = uint64(p + producers*j)
+				vals[j] = fmt.Sprintf("job-p%d-#%d", p, j)
 			}
+			h.InsertBatch(keys, vals)
 		}(p)
 	}
 	wg.Wait()
 	fmt.Printf("queued %d jobs across %d internal queues (β=%.2f)\n\n",
 		q.Len(), q.NumQueues(), q.Beta())
 
-	// Consume: drain and measure how relaxed the order actually was.
+	// Consume: drain through the buffered fast path (up to 4 jobs fetched
+	// per lock acquisition, served one at a time) and measure how relaxed
+	// the order actually was.
+	h := q.NewHandle()
 	var order []uint64
 	for {
-		prio, name, ok := q.DeleteMin()
+		prio, name, ok := h.DeleteMinBuffered(4)
 		if !ok {
 			break
 		}
@@ -65,8 +75,11 @@ func main() {
 		}
 	}
 	sorted := sort.SliceIsSorted(order, func(i, j int) bool { return order[i] < order[j] })
+	st := h.Stats()
 	fmt.Printf("\ndrained %d jobs; strictly sorted: %v; adjacent inversions: %d\n",
 		len(order), sorted, inversions)
+	fmt.Printf("consumer stats: %d deletes, %d served from the local batch buffer\n",
+		st.Deletes, st.BufferedPops)
 	fmt.Println("relaxation trades a few inversions for multicore scalability —")
 	fmt.Println("the paper bounds the expected rank error by O(n/β²) at every step.")
 }

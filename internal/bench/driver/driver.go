@@ -1,9 +1,9 @@
 // Package driver implements the powerbench command line: one portable
 // benchmark driver with throughput, rank, sweep, sssp, astar, jobs and
 // serve subcommands, emitting aligned tables, CSV, or machine-readable JSON
-// reports (see bench.Report) from the same measured results. The legacy
-// mqbench, rankbench and ssspbench binaries are thin wrappers over this
-// package.
+// reports (see bench.Report) from the same measured results. (The legacy
+// mqbench, rankbench and ssspbench wrappers forwarded here until their
+// removal; invoke powerbench directly.)
 package driver
 
 import (

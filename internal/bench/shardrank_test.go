@@ -1,0 +1,125 @@
+package bench
+
+// Rank quality under shard-local sampling: regression tests pinning the
+// documented relaxation cost of WithShards + WithLocalBias (see
+// internal/core/selector.go and the Topology section of README.md).
+//
+// The shard slack is qualitatively different from the batching slack. A
+// batch hides at most (k−1)·H elements, so its cost is O(n·k). Local bias
+// instead makes a handle blind, with probability p, to every element
+// outside its home shard — and locality never repairs key-space imbalance
+// between shards: elements that landed in a foreign shard before a handle
+// started popping stay invisible to its local draws for the whole run.
+//
+// In this harness the imbalance is concrete: RankQuality prefills P labels
+// through one handle, whose home shard therefore holds ≥ p + (1−p)/g of the
+// prefill — nearly all of the globally smallest keys. A worker homed on a
+// different shard pops locally with probability p, and each such blind pop
+// can rank at most ~P (the whole backlog sits below it). With H workers
+// spread round-robin over g shards, the blind fraction of all pops is at
+// most p·(g−1)/g, giving
+//
+//	mean_sharded ≤ mean_unsharded + p·(g−1)/g · P
+//
+// which the tests assert with the same 50% scheduler-noise headroom as the
+// batching bound. The median rank stays near the unsharded base — the
+// typical local pop is a good one; it is the mean that pays for the
+// blind tail — which is exactly the rank-vs-locality trade the option buys
+// (logged, not asserted: the p50 cluster split is scheduler-sensitive).
+
+import (
+	"testing"
+
+	"powerchoice/internal/pqadapt"
+)
+
+const (
+	shardRankQueues  = 8
+	shardRankThreads = 2
+	shardRankShards  = 2
+	shardRankPrefill = 1 << 14
+)
+
+// meanShardedRankOverSeeds averages RankQuality means over a few seeds to
+// damp scheduler bursts (same shape as meanRankOverSeeds in
+// batchrank_test.go).
+func meanShardedRankOverSeeds(t *testing.T, shards int, bias float64) (mean, p50 float64) {
+	t.Helper()
+	const seeds = 3
+	var sum, sum50 float64
+	for s := uint64(0); s < seeds; s++ {
+		res, err := RankQuality(RankSpec{
+			Impl:         pqadapt.ImplMultiQueue,
+			Queues:       shardRankQueues,
+			Shards:       shards,
+			LocalBias:    bias,
+			Threads:      shardRankThreads,
+			Prefill:      shardRankPrefill,
+			OpsPerThread: 1 << 12,
+			Seed:         100 + s,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += res.Mean
+		sum50 += res.P50
+	}
+	return sum / seeds, sum50 / seeds
+}
+
+// TestRankQualityShardedSlack measures the sharded MultiQueue at
+// p ∈ {0.5, 0.9} against the documented backlog bound, and checks that at
+// p = 0.9 the locality trade actually engages (rank measurably degrades —
+// a sharded queue that ranked like an unsharded one would mean the local
+// scope is not being used).
+func TestRankQualityShardedSlack(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test")
+	}
+	if raceEnabled {
+		t.Skip("statistical bound; race instrumentation stalls workers past it")
+	}
+	base, base50 := meanShardedRankOverSeeds(t, 0, 0)
+	for _, p := range []float64{0.5, 0.9} {
+		sharded, p50 := meanShardedRankOverSeeds(t, shardRankShards, p)
+		slack := p * float64(shardRankShards-1) / float64(shardRankShards) * shardRankPrefill
+		bound := (base + slack) * 1.5
+		t.Logf("p=%v: mean rank %.1f, p50 %.1f (unsharded mean %.1f, p50 %.1f, documented bound %.1f)",
+			p, sharded, p50, base, base50, base+slack)
+		if sharded > bound {
+			t.Errorf("p=%v: mean rank %.1f exceeds documented backlog bound %.1f (base %.1f + slack %.1f, ×1.5 headroom)",
+				p, sharded, bound, base, slack)
+		}
+		if p == 0.9 && sharded < 2*base {
+			t.Errorf("p=%v: mean rank %.1f within 2× of unsharded %.1f — local sampling does not appear to engage",
+				p, sharded, base)
+		}
+	}
+}
+
+// TestShardedLineupEntryRank: the sharded4x90 line-up entry runs through
+// the rank harness end to end and reports its resolved shard topology.
+func TestShardedLineupEntryRank(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test")
+	}
+	res, err := RankQuality(RankSpec{
+		Impl:         pqadapt.ImplSharded,
+		Threads:      2,
+		Prefill:      1 << 12,
+		OpsPerThread: 1 << 10,
+		Seed:         7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// PaperQueues = 8 with d = 2 holds the full 4 shards.
+	if res.Topology.Shards != pqadapt.ShardedShards ||
+		res.Topology.LocalBias != pqadapt.ShardedLocalBias ||
+		res.Topology.Queues != pqadapt.PaperQueues {
+		t.Errorf("sharded line-up topology: %+v", res.Topology)
+	}
+	if res.Mean < 1 || res.Removals == 0 {
+		t.Errorf("sharded rank run produced no numbers: %+v", res)
+	}
+}

@@ -1,11 +1,13 @@
 package core
 
-import "powerchoice/internal/backoff"
-
 // Batch operations amortise the MultiQueue's per-operation overhead — lock
 // acquire/release, queue sampling, cached-top maintenance — over up to k
 // elements, the k-LSM-style trade the repository already adapts in pqadapt
 // (klsm256): one lock acquisition and one top refresh move k elements.
+// Queue selection — the β coin, d-choice sampling, shard scoping, sticky
+// streaks and obstacle accounting — is the same selector the single-element
+// operations use, so the two paths cannot drift
+// (TestSingleAndBatchObstacleAccountingParity).
 //
 // The cost is a documented extra rank relaxation with two parts.
 //
@@ -31,7 +33,8 @@ import "powerchoice/internal/backoff"
 // call panics otherwise — a programming error, not an input error); keys
 // equal to the maximum uint64 are clamped down by one like Insert's. The
 // whole batch lands on one queue: rank-wise this is equivalent to an insert
-// streak with stickiness len(keys).
+// streak with stickiness len(keys). A batch counts as one operation against
+// a sticky streak.
 func (h *Handle[V]) InsertBatch(keys []uint64, vals []V) {
 	if len(keys) != len(vals) {
 		panic("core: InsertBatch keys/vals length mismatch")
@@ -42,41 +45,16 @@ func (h *Handle[V]) InsertBatch(keys []uint64, vals []V) {
 	mq := h.mq
 	if mq.atomic {
 		mq.globalMu.Lock()
-		q := &mq.queues[h.rng.Intn(len(mq.queues))]
+		q := h.sel.sampleInsertQueue()
 		q.pushBatch(keys, vals)
 		mq.globalMu.Unlock()
 		h.inserts += int64(len(keys))
 		return
 	}
-	// Sticky fast path, exactly as in Insert: a batch counts as one
-	// operation against the streak.
-	if h.insLeft > 0 && h.stickyIns != nil {
-		if q := h.stickyIns; q.lock.TryLock() {
-			q.pushBatch(keys, vals)
-			q.lock.Unlock()
-			h.insLeft--
-			h.inserts += int64(len(keys))
-			return
-		}
-		h.lockFails++
-		h.insLeft = 0
-	}
-	var bo backoff.Spinner
-	for {
-		q := &mq.queues[h.rng.Intn(len(mq.queues))]
-		if q.lock.TryLock() {
-			q.pushBatch(keys, vals)
-			q.lock.Unlock()
-			if mq.stickiness > 1 {
-				h.stickyIns = q
-				h.insLeft = mq.stickiness - 1
-			}
-			h.inserts += int64(len(keys))
-			return
-		}
-		h.lockFails++
-		bo.Spin()
-	}
+	q := h.sel.lockForInsert()
+	q.pushBatch(keys, vals)
+	q.lock.Unlock()
+	h.inserts += int64(len(keys))
 }
 
 // DeleteMinBatch removes up to k elements under a single lock acquisition
@@ -84,7 +62,8 @@ func (h *Handle[V]) InsertBatch(keys []uint64, vals []V) {
 // keys/vals and returning the number removed. k is clamped to the shorter of
 // the two slices; k <= 0 means their full length. All removed elements come
 // from one queue — the queue the (1+β) d-choice rule picks — so the batch is
-// that queue's k smallest, not the structure's.
+// that queue's k smallest, not the structure's. A batch counts as one
+// operation against a sticky streak.
 //
 // A return of 0 means a full sweep of the cached tops found every queue
 // empty (relaxed emptiness, exactly like DeleteMin's ok=false).
@@ -112,87 +91,23 @@ func (h *Handle[V]) DeleteMinBatch(keys []uint64, vals []V, k int) int {
 	}
 	mq := h.mq
 	if mq.atomic {
-		return h.deleteMinBatchAtomic(keys, vals, k)
-	}
-	// Sticky fast path, mirroring DeleteMin's accounting: a failed TryLock
-	// is a lockFail, a drain behind a stale top is an emptyScan, and any
-	// obstacle breaks the streak. A batch counts as one operation.
-	if h.delLeft > 0 && h.stickyDel != nil {
-		q := h.stickyDel
-		if q.top.Load() != emptyTop {
-			if q.lock.TryLock() {
-				n := q.popBatch(keys, vals, k)
-				q.lock.Unlock()
-				if n > 0 {
-					h.delLeft--
-					h.deletes += int64(n)
-					return n
-				}
-				h.emptyScans++
-			} else {
-				h.lockFails++
-			}
-		}
-		h.delLeft = 0
-	}
-	var bo backoff.Spinner
-	for {
-		q := h.pickQueue()
+		q := h.sel.lockNonEmptyAtomic()
 		if q == nil {
-			h.emptyScans++
-			if !mq.anyNonEmpty() {
-				return 0
-			}
-			bo.Spin()
-			continue
-		}
-		if !q.lock.TryLock() {
-			h.lockFails++
-			bo.Spin()
-			continue
-		}
-		n := q.popBatch(keys, vals, k)
-		q.lock.Unlock()
-		if n == 0 {
-			h.emptyScans++
-			continue
-		}
-		if mq.stickiness > 1 {
-			h.stickyDel = q
-			h.delLeft = mq.stickiness - 1
-		}
-		h.deletes += int64(n)
-		return n
-	}
-}
-
-// deleteMinBatchAtomic is DeleteMinBatch under the global lock (Appendix C
-// mode): the whole pick-and-drain executes atomically.
-func (h *Handle[V]) deleteMinBatchAtomic(keys []uint64, vals []V, k int) int {
-	mq := h.mq
-	var bo backoff.Spinner
-	for {
-		mq.globalMu.Lock()
-		q := h.pickQueue()
-		if q == nil {
-			empty := !mq.anyNonEmpty()
-			mq.globalMu.Unlock()
-			h.emptyScans++
-			if empty {
-				return 0
-			}
-			bo.Spin()
-			continue
+			return 0
 		}
 		n := q.popBatch(keys, vals, k)
 		mq.globalMu.Unlock()
-		if n == 0 {
-			h.emptyScans++
-			continue
-		}
 		h.deletes += int64(n)
 		return n
 	}
+	q := h.sel.lockNonEmptyQueue()
+	if q == nil {
+		return 0
+	}
+	n := q.popBatch(keys, vals, k)
+	q.lock.Unlock()
+	h.deletes += int64(n)
+	return n
 }
 
 // DeleteMinBuffered behaves like DeleteMin but refills a handle-local buffer

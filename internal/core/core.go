@@ -45,6 +45,8 @@ type MultiQueue[V any] struct {
 	beta       float64
 	choices    int
 	stickiness int
+	shards     int
+	localBias  float64
 	atomic     bool
 	resolved   Config
 
@@ -97,6 +99,14 @@ type Config struct {
 	// Stickiness is the per-handle queue-reuse streak length (1 = fully
 	// random, the paper's rule).
 	Stickiness int
+	// Shards is the resolved shard count g: the queues are split into g
+	// contiguous ranges and each handle is pinned to one of them round-robin
+	// (1 = unsharded). The requested count is clamped so every shard keeps
+	// at least Choices queues (see WithShards).
+	Shards int
+	// LocalBias is p, the probability a sharded handle samples within its
+	// home shard instead of globally (see WithLocalBias).
+	LocalBias float64
 	// Seed is the root seed of the per-handle random streams.
 	Seed uint64
 	// Heap names the sequential heap backing each queue.
@@ -121,12 +131,16 @@ func New[V any](opts ...Option) (*MultiQueue[V], error) {
 		beta:       cfg.beta,
 		choices:    cfg.choices,
 		stickiness: cfg.stickiness,
+		shards:     cfg.shards,
+		localBias:  cfg.localBias,
 		atomic:     cfg.atomicMode,
 		resolved: Config{
 			Queues:        cfg.queues,
 			Choices:       cfg.choices,
 			Beta:          cfg.beta,
 			Stickiness:    cfg.stickiness,
+			Shards:        cfg.shards,
+			LocalBias:     cfg.localBias,
 			Seed:          cfg.seed,
 			Heap:          cfg.heapKind,
 			Atomic:        cfg.atomicMode,
@@ -159,6 +173,9 @@ func (mq *MultiQueue[V]) Beta() float64 { return mq.beta }
 
 // Choices returns d, the number of queues sampled per choice-deletion.
 func (mq *MultiQueue[V]) Choices() int { return mq.choices }
+
+// Shards returns the resolved shard count g (1 = unsharded).
+func (mq *MultiQueue[V]) Shards() int { return mq.shards }
 
 // Len returns the number of elements present. It sums racy per-queue
 // counts, so under concurrent mutation the value is approximate; it is
@@ -261,6 +278,18 @@ func (q *lockedQueue[V]) pushBatch(keys []uint64, vals []V) {
 		q.top.Store(minKey)
 	}
 	q.count.Store(q.count.Load() + int64(len(keys)))
+}
+
+// emptyUnderLock repairs the cached top of a queue found empty while its
+// lock is held (count is exact under the lock). In normal operation the top
+// cannot be stale at this point — every pop repairs it before unlocking —
+// but the pre-selector code repaired it here too (via a failed PopMin's
+// refresh), and anyNonEmpty must never be kept spinning by a stale
+// non-empty top on an empty queue.
+func (q *lockedQueue[V]) emptyUnderLock() {
+	if q.top.Load() != emptyTop {
+		q.top.Store(emptyTop)
+	}
 }
 
 // popMin removes the minimum under the held lock and refreshes the cached

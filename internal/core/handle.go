@@ -1,24 +1,16 @@
 package core
 
-import (
-	"powerchoice/internal/backoff"
-	"powerchoice/internal/xrand"
-)
-
 // Handle is a per-goroutine accessor to a MultiQueue. It owns a private
-// random stream and operation counters, so hot loops pay no synchronisation
-// beyond the queue locks themselves. A Handle must not be shared between
-// goroutines.
+// random stream, the queue-selection state (see selector), and operation
+// counters, so hot loops pay no synchronisation beyond the queue locks
+// themselves. A Handle must not be shared between goroutines.
+//
+// On a sharded MultiQueue (WithShards) every handle is pinned to a home
+// shard, round-robin in creation order, and its samples stay within that
+// shard with probability WithLocalBias.
 type Handle[V any] struct {
-	mq      *MultiQueue[V]
-	rng     *xrand.Source
-	scratch []int // d-choice sample buffer, sized at construction (d > 2)
-	// Sticky state: remembered queues and remaining streak lengths (only
-	// used when the MultiQueue was built WithStickiness > 1).
-	stickyIns *lockedQueue[V]
-	insLeft   int
-	stickyDel *lockedQueue[V]
-	delLeft   int
+	mq  *MultiQueue[V]
+	sel selector[V]
 	// Local pop buffer for DeleteMinBuffered: elements already removed from
 	// the shared structure, waiting to be returned to this handle's owner.
 	// Drained front to back before the shared queues are re-sampled.
@@ -29,8 +21,6 @@ type Handle[V any] struct {
 	// stats, maintained without atomics (single-owner).
 	inserts      int64
 	deletes      int64
-	lockFails    int64
-	emptyScans   int64
 	bufferedPops int64
 }
 
@@ -41,12 +31,8 @@ func (mq *MultiQueue[V]) Handle() *Handle[V] {
 
 func (mq *MultiQueue[V]) newHandle() *Handle[V] {
 	id := mq.hseq.Add(1)
-	h := &Handle[V]{mq: mq, rng: mq.sharded.Source(int(id))}
-	if mq.choices > 2 {
-		// Allocated here, not lazily on the d-choice hot path: pickQueue
-		// must stay allocation-free (TestHandleOpsAllocationFree).
-		h.scratch = make([]int, mq.choices)
-	}
+	h := &Handle[V]{mq: mq}
+	h.sel.init(mq, int(id))
 	return h
 }
 
@@ -73,8 +59,8 @@ func (h *Handle[V]) Stats() HandleStats {
 	return HandleStats{
 		Inserts:      h.inserts,
 		Deletes:      h.deletes,
-		LockFails:    h.lockFails,
-		EmptyScans:   h.emptyScans,
+		LockFails:    h.sel.lockFails,
+		EmptyScans:   h.sel.emptyScans,
 		BufferedPops: h.bufferedPops,
 		Buffered:     h.popLen - h.popPos,
 	}
@@ -89,41 +75,16 @@ func (h *Handle[V]) Insert(key uint64, value V) {
 	mq := h.mq
 	if mq.atomic {
 		mq.globalMu.Lock()
-		q := &mq.queues[h.rng.Intn(len(mq.queues))]
+		q := h.sel.sampleInsertQueue()
 		q.push(key, value)
 		mq.globalMu.Unlock()
 		h.inserts++
 		return
 	}
-	// Sticky fast path: reuse the last insertion queue while the streak
-	// lasts and its lock is free; any obstacle breaks the streak.
-	if h.insLeft > 0 && h.stickyIns != nil {
-		if q := h.stickyIns; q.lock.TryLock() {
-			q.push(key, value)
-			q.lock.Unlock()
-			h.insLeft--
-			h.inserts++
-			return
-		}
-		h.lockFails++
-		h.insLeft = 0
-	}
-	var bo backoff.Spinner
-	for {
-		q := &mq.queues[h.rng.Intn(len(mq.queues))]
-		if q.lock.TryLock() {
-			q.push(key, value)
-			q.lock.Unlock()
-			if mq.stickiness > 1 {
-				h.stickyIns = q
-				h.insLeft = mq.stickiness - 1
-			}
-			h.inserts++
-			return
-		}
-		h.lockFails++
-		bo.Spin()
-	}
+	q := h.sel.lockForInsert()
+	q.push(key, value)
+	q.lock.Unlock()
+	h.inserts++
 }
 
 // DeleteMin removes and returns an element of relaxed minimum priority.
@@ -147,134 +108,25 @@ func (h *Handle[V]) DeleteMin() (uint64, V, bool) {
 	}
 	mq := h.mq
 	if mq.atomic {
-		return h.deleteMinAtomic()
-	}
-	// Sticky fast path: keep draining the last successful queue while the
-	// streak lasts, it has elements, and its lock is free. Any obstacle
-	// breaks the streak, and the obstacle is accounted exactly as on the
-	// slow path: a failed TryLock is a lockFail, a pop that finds the heap
-	// drained behind a stale cached top is an emptyScan.
-	if h.delLeft > 0 && h.stickyDel != nil {
-		q := h.stickyDel
-		if q.top.Load() != emptyTop {
-			if q.lock.TryLock() {
-				it, ok := q.popMin()
-				q.lock.Unlock()
-				if ok {
-					h.delLeft--
-					h.deletes++
-					return it.Key, it.Value, true
-				}
-				h.emptyScans++
-			} else {
-				h.lockFails++
-			}
-		}
-		h.delLeft = 0
-	}
-	var bo backoff.Spinner
-	for {
-		q := h.pickQueue()
+		q := h.sel.lockNonEmptyAtomic()
 		if q == nil {
-			// All sampled tops empty: sweep every queue before declaring
-			// the structure empty.
-			h.emptyScans++
-			if !mq.anyNonEmpty() {
-				var zero V
-				return 0, zero, false
-			}
-			bo.Spin()
-			continue
+			var zero V
+			return 0, zero, false
 		}
-		if !q.lock.TryLock() {
-			h.lockFails++
-			bo.Spin()
-			continue
-		}
-		it, ok := q.popMin()
-		q.lock.Unlock()
-		if !ok {
-			// Queue drained between the unsynchronised top read and the
-			// lock acquisition; retry with fresh randomness.
-			h.emptyScans++
-			continue
-		}
-		if mq.stickiness > 1 {
-			h.stickyDel = q
-			h.delLeft = mq.stickiness - 1
-		}
-		h.deletes++
-		return it.Key, it.Value, true
-	}
-}
-
-// pickQueue samples queue(s) per the (1+β) d-choice rule and returns the
-// candidate with the smallest cached top, or nil when every sampled
-// candidate is empty.
-func (h *Handle[V]) pickQueue() *lockedQueue[V] {
-	mq := h.mq
-	n := len(mq.queues)
-	useChoice := mq.choices >= 2 && (mq.beta >= 1 || h.rng.Float64() < mq.beta)
-	switch {
-	case !useChoice:
-		q := &mq.queues[h.rng.Intn(n)]
-		if q.top.Load() == emptyTop {
-			return nil
-		}
-		return q
-	case mq.choices == 2:
-		i, j := h.rng.TwoDistinct(n)
-		qi, qj := &mq.queues[i], &mq.queues[j]
-		ti, tj := qi.top.Load(), qj.top.Load()
-		if ti == emptyTop && tj == emptyTop {
-			return nil
-		}
-		if ti <= tj {
-			return qi
-		}
-		return qj
-	default:
-		h.rng.KDistinct(h.scratch, n)
-		var best *lockedQueue[V]
-		bestTop := uint64(emptyTop)
-		for _, i := range h.scratch {
-			q := &mq.queues[i]
-			if t := q.top.Load(); t < bestTop {
-				best, bestTop = q, t
-			}
-		}
-		return best
-	}
-}
-
-// deleteMinAtomic performs the whole two-choice compare and pop under the
-// global lock (Appendix C's distributionally linearizable reference).
-func (h *Handle[V]) deleteMinAtomic() (uint64, V, bool) {
-	mq := h.mq
-	var bo backoff.Spinner
-	for {
-		mq.globalMu.Lock()
-		q := h.pickQueue()
-		if q == nil {
-			empty := !mq.anyNonEmpty()
-			mq.globalMu.Unlock()
-			h.emptyScans++
-			if empty {
-				var zero V
-				return 0, zero, false
-			}
-			bo.Spin()
-			continue
-		}
-		it, ok := q.popMin()
+		it, _ := q.popMin()
 		mq.globalMu.Unlock()
-		if !ok {
-			h.emptyScans++
-			continue
-		}
 		h.deletes++
 		return it.Key, it.Value, true
 	}
+	q := h.sel.lockNonEmptyQueue()
+	if q == nil {
+		var zero V
+		return 0, zero, false
+	}
+	it, _ := q.popMin()
+	q.lock.Unlock()
+	h.deletes++
+	return it.Key, it.Value, true
 }
 
 // anyNonEmpty sweeps the cached tops for a non-empty queue.

@@ -25,6 +25,8 @@ type config struct {
 	beta       float64
 	choices    int
 	stickiness int
+	shards     int
+	localBias  float64
 	seed       uint64
 	heapKind   pqueue.Kind
 	atomicMode bool
@@ -74,6 +76,33 @@ func WithChoices(d int) Option {
 // the remembered queue is contended or empty.
 func WithStickiness(s int) Option {
 	return func(c *config) { c.stickiness = s }
+}
+
+// WithShards partitions the internal queues into g contiguous shards and
+// pins every handle to a home shard, round-robin in handle-creation order.
+// Shards only change behaviour together with WithLocalBias: a biased sample
+// draws all of its candidates (both queues of a two-choice deletion, all d
+// of a d-choice) from the handle's home shard, touching one small slice of
+// the topology instead of random cache lines across all n queues.
+//
+// The requested g is clamped so that every shard keeps at least `choices`
+// queues — a smaller shard could not supply d distinct candidates — and
+// Config.Shards reports the resolved count, mirroring how derived queue
+// counts are floored and reported. g ≤ 1 (the default) is unsharded.
+func WithShards(g int) Option {
+	return func(c *config) { c.shards = g }
+}
+
+// WithLocalBias sets p, the probability that a sharded handle samples
+// within its home shard; with probability 1−p it samples globally, exactly
+// as an unsharded MultiQueue would. p = 0 (the default) disables locality
+// even when shards are configured; p = 1 samples home-only, with a global
+// fallback draw whenever the home shard is found empty (liveness: elements
+// in foreign shards must stay reachable). The locality is paid for in rank
+// quality — see the documented shard slack in bench's
+// TestRankQualityShardedSlack.
+func WithLocalBias(p float64) Option {
+	return func(c *config) { c.localBias = p }
 }
 
 // WithSeed fixes the root seed of the per-handle random streams.
@@ -143,6 +172,26 @@ func buildOptions(opts []Option) (config, error) {
 	}
 	if c.stickiness < 1 {
 		return c, fmt.Errorf("core: stickiness %d < 1", c.stickiness)
+	}
+	if c.shards < 0 {
+		return c, fmt.Errorf("core: shards %d < 0", c.shards)
+	}
+	if c.shards == 0 {
+		c.shards = 1
+	}
+	if c.localBias < 0 || c.localBias > 1 {
+		return c, fmt.Errorf("core: local bias %v outside [0,1]", c.localBias)
+	}
+	// Clamp the shard count so every shard keeps at least `choices` queues:
+	// shards are the contiguous ranges [i·n/g, (i+1)·n/g), whose minimum
+	// size is ⌊n/g⌋, and a scope-local d-choice needs d distinct candidates.
+	// Like the derived-queue floor, the resolved value is reported
+	// (Config.Shards) rather than silently acted on.
+	if maxShards := c.queues / c.choices; c.shards > maxShards {
+		c.shards = maxShards
+		if c.shards < 1 {
+			c.shards = 1
+		}
 	}
 	known := false
 	for _, k := range pqueue.Kinds() {

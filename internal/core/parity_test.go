@@ -1,0 +1,201 @@
+package core
+
+import "testing"
+
+// Single-op / batch-op accounting parity: Insert vs InsertBatch and
+// DeleteMin vs DeleteMinBatch now run through the same selector
+// (lockForInsert / lockNonEmptyQueue), so for any obstacle — a contended
+// sticky lock, a sticky queue drained behind a stale cached top, an empty
+// cached top, a lost slow-path try-lock — both paths must report identical
+// lockFails / emptyScans deltas and break (or keep) the sticky streak
+// identically. Before the extraction these four paths carried hand-copied
+// accounting that had already drifted once (the silent empty-top break).
+
+// parityDeltas runs op against a freshly arranged MultiQueue/handle and
+// reports the counter deltas and the post-op sticky state.
+type parityDeltas struct {
+	lockFails, emptyScans int64
+	streakBroken          bool
+	ok                    bool
+}
+
+func deleteParity(t *testing.T, arrange func(mq *MultiQueue[int], h *Handle[int]) (cleanup func()),
+	batched bool) parityDeltas {
+	t.Helper()
+	mq := mustNew[int](t, WithQueues(4), WithStickiness(16), WithSeed(67))
+	h := mq.Handle()
+	cleanup := arrange(mq, h)
+	if cleanup != nil {
+		defer cleanup()
+	}
+	armed := h.sel.stickyDel
+	before := h.Stats()
+	var ok bool
+	if batched {
+		keys := make([]uint64, 1)
+		vals := make([]int, 1)
+		ok = h.DeleteMinBatch(keys, vals, 1) > 0
+	} else {
+		_, _, ok = h.DeleteMin()
+	}
+	after := h.Stats()
+	return parityDeltas{
+		lockFails:    after.LockFails - before.LockFails,
+		emptyScans:   after.EmptyScans - before.EmptyScans,
+		streakBroken: armed != nil && h.sel.stickyDel != armed,
+		ok:           ok,
+	}
+}
+
+func insertParity(t *testing.T, arrange func(mq *MultiQueue[int], h *Handle[int]) (cleanup func()),
+	batched bool) parityDeltas {
+	t.Helper()
+	mq := mustNew[int](t, WithQueues(4), WithStickiness(16), WithSeed(67))
+	h := mq.Handle()
+	cleanup := arrange(mq, h)
+	if cleanup != nil {
+		defer cleanup()
+	}
+	armed := h.sel.stickyIns
+	before := h.Stats()
+	if batched {
+		h.InsertBatch([]uint64{7}, []int{7})
+	} else {
+		h.Insert(7, 7)
+	}
+	after := h.Stats()
+	return parityDeltas{
+		lockFails:    after.LockFails - before.LockFails,
+		emptyScans:   after.EmptyScans - before.EmptyScans,
+		streakBroken: armed != nil && h.sel.stickyIns != armed,
+		ok:           true,
+	}
+}
+
+func TestSingleAndBatchObstacleAccountingParity(t *testing.T) {
+	// Every arrange returns the structure to a state where the operation can
+	// still complete (an element reachable somewhere), so both variants
+	// finish and the deltas measure only the obstacle.
+	deleteCases := []struct {
+		name    string
+		arrange func(mq *MultiQueue[int], h *Handle[int]) func()
+	}{
+		{
+			name: "no obstacle, sticky streak runs",
+			arrange: func(mq *MultiQueue[int], h *Handle[int]) func() {
+				mq.queues[0].push(7, 7)
+				mq.queues[0].push(8, 8)
+				h.sel.stickyDel = &mq.queues[0]
+				h.sel.delLeft = 5
+				return nil
+			},
+		},
+		{
+			name: "sticky lock contended",
+			arrange: func(mq *MultiQueue[int], h *Handle[int]) func() {
+				mq.queues[0].push(7, 7)
+				mq.queues[1].push(9, 9)
+				h.sel.stickyDel = &mq.queues[0]
+				h.sel.delLeft = 5
+				if !mq.queues[0].lock.TryLock() {
+					t.Fatal("could not contend queue 0")
+				}
+				return mq.queues[0].lock.Unlock
+			},
+		},
+		{
+			name: "sticky queue drained behind stale top",
+			arrange: func(mq *MultiQueue[int], h *Handle[int]) func() {
+				mq.queues[0].top.Store(3) // stale: heap actually empty
+				mq.queues[1].push(9, 9)
+				h.sel.stickyDel = &mq.queues[0]
+				h.sel.delLeft = 5
+				return func() { mq.queues[0].top.Store(emptyTop) }
+			},
+		},
+		{
+			name: "sticky queue with empty cached top",
+			arrange: func(mq *MultiQueue[int], h *Handle[int]) func() {
+				mq.queues[1].push(9, 9)
+				h.sel.stickyDel = &mq.queues[0]
+				h.sel.delLeft = 5
+				return nil
+			},
+		},
+	}
+	for _, c := range deleteCases {
+		t.Run("delete/"+c.name, func(t *testing.T) {
+			single := deleteParity(t, c.arrange, false)
+			batch := deleteParity(t, c.arrange, true)
+			if single != batch {
+				t.Errorf("DeleteMin and DeleteMinBatch diverge:\nsingle: %+v\nbatch:  %+v",
+					single, batch)
+			}
+			if !single.ok {
+				t.Error("operation did not complete with an element available")
+			}
+		})
+	}
+
+	insertCases := []struct {
+		name    string
+		arrange func(mq *MultiQueue[int], h *Handle[int]) func()
+	}{
+		{
+			name: "no obstacle, sticky streak runs",
+			arrange: func(mq *MultiQueue[int], h *Handle[int]) func() {
+				h.sel.stickyIns = &mq.queues[0]
+				h.sel.insLeft = 5
+				return nil
+			},
+		},
+		{
+			name: "sticky lock contended",
+			arrange: func(mq *MultiQueue[int], h *Handle[int]) func() {
+				h.sel.stickyIns = &mq.queues[0]
+				h.sel.insLeft = 5
+				if !mq.queues[0].lock.TryLock() {
+					t.Fatal("could not contend queue 0")
+				}
+				return mq.queues[0].lock.Unlock
+			},
+		},
+	}
+	for _, c := range insertCases {
+		t.Run("insert/"+c.name, func(t *testing.T) {
+			single := insertParity(t, c.arrange, false)
+			batch := insertParity(t, c.arrange, true)
+			if single != batch {
+				t.Errorf("Insert and InsertBatch diverge:\nsingle: %+v\nbatch:  %+v",
+					single, batch)
+			}
+		})
+	}
+}
+
+// TestParityStreakSurvivesSuccess: the unobstructed sticky case must NOT
+// break the streak on either path, and both must consume exactly one unit
+// of it.
+func TestParityStreakSurvivesSuccess(t *testing.T) {
+	for _, batched := range []bool{false, true} {
+		mq := mustNew[int](t, WithQueues(4), WithStickiness(16), WithSeed(69))
+		h := mq.Handle()
+		mq.queues[0].push(7, 7)
+		mq.queues[0].push(8, 8)
+		h.sel.stickyDel = &mq.queues[0]
+		h.sel.delLeft = 5
+		if batched {
+			keys := make([]uint64, 1)
+			vals := make([]int, 1)
+			if h.DeleteMinBatch(keys, vals, 1) != 1 {
+				t.Fatal("batch pop failed")
+			}
+		} else if _, _, ok := h.DeleteMin(); !ok {
+			t.Fatal("pop failed")
+		}
+		if h.sel.stickyDel != &mq.queues[0] || h.sel.delLeft != 4 {
+			t.Errorf("batched=%v: streak = (%p, %d), want (queue0, 4)",
+				batched, h.sel.stickyDel, h.sel.delLeft)
+		}
+	}
+}

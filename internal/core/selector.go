@@ -1,0 +1,264 @@
+package core
+
+import (
+	"powerchoice/internal/backoff"
+	"powerchoice/internal/xrand"
+)
+
+// selector is the queue-selection component of a Handle: it owns the
+// locality coin (shard-aware two-level sampling), the β coin and d-choice
+// sampling of the deletion rule, the sticky-streak state, and the obstacle
+// accounting (lockFails/emptyScans) all of those share. Before it existed,
+// this logic was duplicated — with slowly drifting accounting — across four
+// hot paths (Insert, DeleteMin, InsertBatch, DeleteMinBatch); now each of
+// them is a thin push/pop wrapper over the two lock* entry points below.
+//
+// The selector is embedded by value in Handle and holds no interfaces, so
+// the hot path stays devirtualized (direct calls on a concrete struct) and
+// allocation-free in steady state (TestHandleOpsAllocationFree and friends):
+// the d-choice scratch buffer is sized at construction, and nothing here
+// closes over anything.
+type selector[V any] struct {
+	mq      *MultiQueue[V]
+	rng     *xrand.Source
+	scratch []int // d-choice sample buffer, sized at construction (d > 2)
+	// Home-shard scope: the contiguous queue range [homeLo, homeLo+homeN)
+	// this handle's scope-local samples draw from. Covers the whole
+	// structure when the MultiQueue is unsharded.
+	homeLo, homeN int
+	// Sticky state: remembered queues and remaining streak lengths (only
+	// used when the MultiQueue was built WithStickiness > 1).
+	stickyIns *lockedQueue[V]
+	insLeft   int
+	stickyDel *lockedQueue[V]
+	delLeft   int
+	// Obstacle counters, maintained without atomics (single-owner).
+	lockFails  int64
+	emptyScans int64
+}
+
+// init prepares the selector for the handle with the given 1-based id.
+// Handles are pinned to home shards round-robin in creation order, so any
+// set of g or more handles covers every shard.
+func (s *selector[V]) init(mq *MultiQueue[V], id int) {
+	s.mq = mq
+	s.rng = mq.sharded.Source(id)
+	if mq.choices > 2 {
+		// Allocated here, not lazily on the d-choice hot path: sampling
+		// must stay allocation-free (TestHandleOpsAllocationFree).
+		s.scratch = make([]int, mq.choices)
+	}
+	n := len(mq.queues)
+	s.homeLo, s.homeN = 0, n
+	if mq.shards > 1 {
+		home := (id - 1) % mq.shards
+		lo := home * n / mq.shards
+		hi := (home + 1) * n / mq.shards
+		s.homeLo, s.homeN = lo, hi-lo
+	}
+}
+
+// local flips the locality coin: true means this sample is scoped to the
+// handle's home shard. Unsharded structures (and a zero bias) never touch
+// the generator, so their draw sequences are bit-identical to the
+// pre-sharding code under a fixed seed.
+func (s *selector[V]) local() bool {
+	mq := s.mq
+	if mq.shards <= 1 || mq.localBias <= 0 {
+		return false
+	}
+	return mq.localBias >= 1 || s.rng.Float64() < mq.localBias
+}
+
+// sampleInsertQueue picks the uniformly random queue an insert-side
+// operation lands on, within the scope the locality coin chose.
+func (s *selector[V]) sampleInsertQueue() *lockedQueue[V] {
+	if s.local() {
+		return &s.mq.queues[s.homeLo+s.rng.Intn(s.homeN)]
+	}
+	return &s.mq.queues[s.rng.Intn(len(s.mq.queues))]
+}
+
+// sampleDeleteQueue applies the (1+β) d-choice rule within the scope the
+// locality coin chose, returning nil when every sampled candidate is empty.
+// A scope-local draw that comes up all-empty counts as an emptyScan and
+// falls back to one global draw: without the fallback a handle with bias
+// p = 1 would spin forever on a drained home shard while other shards still
+// held elements.
+func (s *selector[V]) sampleDeleteQueue() *lockedQueue[V] {
+	if s.local() {
+		if q := s.sampleScoped(s.homeLo, s.homeN); q != nil {
+			return q
+		}
+		s.emptyScans++
+	}
+	return s.sampleScoped(0, len(s.mq.queues))
+}
+
+// sampleScoped samples queue(s) per the (1+β) d-choice rule from the
+// contiguous range [lo, lo+n) and returns the candidate with the smallest
+// cached top, or nil when every sampled candidate is empty. Shard clamping
+// (buildOptions) guarantees n ≥ choices for every scope, so the distinct
+// draws below never degenerate.
+func (s *selector[V]) sampleScoped(lo, n int) *lockedQueue[V] {
+	mq := s.mq
+	useChoice := mq.choices >= 2 && (mq.beta >= 1 || s.rng.Float64() < mq.beta)
+	switch {
+	case !useChoice:
+		q := &mq.queues[lo+s.rng.Intn(n)]
+		if q.top.Load() == emptyTop {
+			return nil
+		}
+		return q
+	case mq.choices == 2:
+		i, j := s.rng.TwoDistinct(n)
+		qi, qj := &mq.queues[lo+i], &mq.queues[lo+j]
+		ti, tj := qi.top.Load(), qj.top.Load()
+		if ti == emptyTop && tj == emptyTop {
+			return nil
+		}
+		if ti <= tj {
+			return qi
+		}
+		return qj
+	default:
+		s.rng.KDistinct(s.scratch, n)
+		var best *lockedQueue[V]
+		bestTop := uint64(emptyTop)
+		for _, i := range s.scratch {
+			q := &mq.queues[lo+i]
+			if t := q.top.Load(); t < bestTop {
+				best, bestTop = q, t
+			}
+		}
+		return best
+	}
+}
+
+// lockForInsert returns a LOCKED queue for an insert-side operation; the
+// caller pushes (one element or a batch — a batch counts as one operation
+// against the sticky streak) and unlocks. Sticky fast path and obstacle
+// accounting are shared by Insert and InsertBatch: reuse the last insertion
+// queue while the streak lasts and its lock is free; any obstacle breaks the
+// streak and counts a lockFail.
+func (s *selector[V]) lockForInsert() *lockedQueue[V] {
+	if s.insLeft > 0 && s.stickyIns != nil {
+		if q := s.stickyIns; q.lock.TryLock() {
+			s.insLeft--
+			return q
+		}
+		s.lockFails++
+		s.insLeft = 0
+	}
+	var bo backoff.Spinner
+	for {
+		q := s.sampleInsertQueue()
+		if q.lock.TryLock() {
+			if s.mq.stickiness > 1 {
+				s.stickyIns = q
+				s.insLeft = s.mq.stickiness - 1
+			}
+			return q
+		}
+		s.lockFails++
+		bo.Spin()
+	}
+}
+
+// lockNonEmptyQueue runs the shared deletion-selection loop for DeleteMin
+// and DeleteMinBatch: sticky fast path, (1+β) d-choice sampling, try-lock,
+// and the obstacle accounting all of them share. It returns the chosen
+// queue LOCKED and verified non-empty — count is written only under the
+// queue lock, so reading it while holding the lock is exact and the
+// caller's pop cannot fail — or nil when a full sweep of the cached tops
+// found every queue empty (relaxed emptiness, see MultiQueue).
+//
+// Obstacle accounting, identical on every path: a failed TryLock is a
+// lockFail; a queue drained behind a stale cached top (or a remembered
+// sticky queue whose cached top already reads empty) is an emptyScan; any
+// obstacle breaks a sticky streak.
+func (s *selector[V]) lockNonEmptyQueue() *lockedQueue[V] {
+	if s.delLeft > 0 && s.stickyDel != nil {
+		q := s.stickyDel
+		switch {
+		case q.top.Load() == emptyTop:
+			// The remembered queue's cached top reads empty. This used to
+			// break the streak silently while every other obstacle was
+			// counted; it is the same condition the slow path counts as an
+			// emptyScan (TestStickyDeleteCountsEmptyTop).
+			s.emptyScans++
+		case !q.lock.TryLock():
+			s.lockFails++
+		case q.count.Load() > 0:
+			s.delLeft--
+			return q
+		default:
+			// Drained between the unsynchronised top read and the lock
+			// acquisition.
+			q.emptyUnderLock()
+			q.lock.Unlock()
+			s.emptyScans++
+		}
+		s.delLeft = 0
+	}
+	var bo backoff.Spinner
+	for {
+		q := s.sampleDeleteQueue()
+		if q == nil {
+			// All sampled tops empty: sweep every queue before declaring
+			// the structure empty.
+			s.emptyScans++
+			if !s.mq.anyNonEmpty() {
+				return nil
+			}
+			bo.Spin()
+			continue
+		}
+		if !q.lock.TryLock() {
+			s.lockFails++
+			bo.Spin()
+			continue
+		}
+		if q.count.Load() > 0 {
+			if s.mq.stickiness > 1 {
+				s.stickyDel = q
+				s.delLeft = s.mq.stickiness - 1
+			}
+			return q
+		}
+		q.emptyUnderLock()
+		q.lock.Unlock()
+		s.emptyScans++
+	}
+}
+
+// lockNonEmptyAtomic is lockNonEmptyQueue under the global lock (Appendix
+// C's distributionally linearizable mode): the whole sample-and-pop pair
+// executes atomically, so the caller pops and then releases mq.globalMu.
+// Returns a non-empty queue with the global lock HELD, or nil with the lock
+// released when the structure is empty. No stickiness: atomic mode is the
+// paper's fully random reference process.
+func (s *selector[V]) lockNonEmptyAtomic() *lockedQueue[V] {
+	mq := s.mq
+	var bo backoff.Spinner
+	for {
+		mq.globalMu.Lock()
+		q := s.sampleDeleteQueue()
+		if q == nil {
+			empty := !mq.anyNonEmpty()
+			mq.globalMu.Unlock()
+			s.emptyScans++
+			if empty {
+				return nil
+			}
+			bo.Spin()
+			continue
+		}
+		if q.count.Load() > 0 {
+			return q
+		}
+		q.emptyUnderLock()
+		mq.globalMu.Unlock()
+		s.emptyScans++
+	}
+}

@@ -95,8 +95,8 @@ func TestStickyDeleteCountsLockFail(t *testing.T) {
 	mq.queues[0].push(7, 7)
 	mq.queues[1].push(9, 9)
 	// Arm a delete streak on queue 0, then contend its lock.
-	h.stickyDel = &mq.queues[0]
-	h.delLeft = 5
+	h.sel.stickyDel = &mq.queues[0]
+	h.sel.delLeft = 5
 	if !mq.queues[0].lock.TryLock() {
 		t.Fatal("could not take queue 0's lock")
 	}
@@ -112,7 +112,7 @@ func TestStickyDeleteCountsLockFail(t *testing.T) {
 	}
 	// The old streak must be gone; the successful slow-path pop re-arms
 	// stickiness on the queue it actually drained.
-	if h.stickyDel == &mq.queues[0] {
+	if h.sel.stickyDel == &mq.queues[0] {
 		t.Error("streak not broken by the failed try-lock")
 	}
 }
@@ -128,8 +128,8 @@ func TestStickyDeleteCountsEmptyScan(t *testing.T) {
 	// the lock acquisition. Queue 1 holds a real element.
 	mq.queues[0].top.Store(3)
 	mq.queues[1].push(9, 9)
-	h.stickyDel = &mq.queues[0]
-	h.delLeft = 5
+	h.sel.stickyDel = &mq.queues[0]
+	h.sel.delLeft = 5
 	before := h.Stats()
 	if _, _, ok := h.DeleteMin(); !ok {
 		t.Fatal("DeleteMin failed with an element available")
@@ -139,8 +139,36 @@ func TestStickyDeleteCountsEmptyScan(t *testing.T) {
 		t.Errorf("sticky empty pop not counted: emptyScans %d -> %d",
 			before.EmptyScans, after.EmptyScans)
 	}
-	if h.stickyDel == &mq.queues[0] {
+	if h.sel.stickyDel == &mq.queues[0] {
 		t.Error("streak not broken by the empty pop")
+	}
+}
+
+// TestStickyDeleteCountsEmptyTop: a sticky DeleteMin whose remembered queue
+// has an *empty cached top* must count an emptyScan. This was the one
+// obstacle the fast path did not account: a stale top or a lost try-lock
+// were counted, but an honestly empty cached top broke the streak silently,
+// so EmptyScans under-reported exactly the obstacle that says "your sticky
+// queue drained".
+func TestStickyDeleteCountsEmptyTop(t *testing.T) {
+	mq := mustNew[int](t, WithQueues(4), WithStickiness(16), WithSeed(47))
+	h := mq.Handle()
+	// Queue 0: genuinely empty (cached top = sentinel). Queue 1 holds a real
+	// element so the slow path can finish the operation.
+	mq.queues[1].push(9, 9)
+	h.sel.stickyDel = &mq.queues[0]
+	h.sel.delLeft = 5
+	before := h.Stats()
+	if _, _, ok := h.DeleteMin(); !ok {
+		t.Fatal("DeleteMin failed with an element available")
+	}
+	after := h.Stats()
+	if after.EmptyScans <= before.EmptyScans {
+		t.Errorf("sticky empty-top streak break not counted: emptyScans %d -> %d",
+			before.EmptyScans, after.EmptyScans)
+	}
+	if h.sel.stickyDel == &mq.queues[0] {
+		t.Error("streak not broken by the empty cached top")
 	}
 }
 

@@ -23,6 +23,12 @@ type Impl string
 const (
 	// ImplMultiQueue is the original MultiQueue (β = 1).
 	ImplMultiQueue Impl = "multiqueue"
+	// ImplSharded is the shard-aware MultiQueue (β = 1): the queues are
+	// split into ShardedShards contiguous shards, handles are pinned to
+	// home shards round-robin, and samples stay within-home with
+	// probability ShardedLocalBias. Core clamps the shard count on hosts
+	// whose derived queue count cannot hold 4 shards of ≥ d queues.
+	ImplSharded Impl = "sharded4x90"
 	// ImplOneBeta75 is the paper's (1+β) MultiQueue with β = 0.75.
 	ImplOneBeta75 Impl = "onebeta75"
 	// ImplOneBeta50 is the paper's (1+β) MultiQueue with β = 0.5.
@@ -38,10 +44,18 @@ const (
 // Impls lists the full benchmark line-up in presentation order.
 func Impls() []Impl {
 	return []Impl{
-		ImplOneBeta50, ImplOneBeta75, ImplMultiQueue,
+		ImplOneBeta50, ImplOneBeta75, ImplMultiQueue, ImplSharded,
 		ImplSkipList, ImplKLSM, ImplGlobalLock,
 	}
 }
+
+// ShardedShards and ShardedLocalBias are the topology of the sharded
+// line-up entry: four contiguous shards, 90% home-shard sampling. An
+// explicit Spec.Shards overrides them.
+const (
+	ShardedShards    = 4
+	ShardedLocalBias = 0.9
+)
 
 // PaperQueues is the fixed queue count of the paper's rank-quality
 // experiments (§5, Figure 2: n = 8 queues, 8 threads). Rank harnesses pin
@@ -59,7 +73,7 @@ func IsMultiQueue(impl Impl) bool {
 // mqBeta maps a MultiQueue line-up implementation to its β.
 func mqBeta(impl Impl) (float64, bool) {
 	switch impl {
-	case ImplMultiQueue:
+	case ImplMultiQueue, ImplSharded:
 		return 1, true
 	case ImplOneBeta75:
 		return 0.75, true
@@ -78,6 +92,14 @@ type Spec struct {
 	// 0 derives it from the host (factor × GOMAXPROCS with a floor). The
 	// field is ignored for implementations without internal queues.
 	Queues int
+	// Shards partitions a MultiQueue's queues into g contiguous shards with
+	// round-robin handle homes (0 = unsharded, except for ImplSharded whose
+	// default is ShardedShards). Core clamps g so every shard keeps at
+	// least d queues; ignored for implementations without internal queues.
+	Shards int
+	// LocalBias is the probability a sharded handle samples within its home
+	// shard (see core.WithLocalBias). Only meaningful with Shards > 1.
+	LocalBias float64
 	// Seed fixes all randomness.
 	Seed uint64
 }
@@ -90,6 +112,11 @@ type Topology struct {
 	Queues  int     `json:"queues,omitempty"`
 	Choices int     `json:"choices,omitempty"`
 	Beta    float64 `json:"beta,omitempty"`
+	// Shards and LocalBias describe the resolved shard topology; both are
+	// zero for unsharded queues (Shards = 1 in core reads as unsharded
+	// here, so pre-shard reports and unsharded rows stay byte-identical).
+	Shards    int     `json:"shards,omitempty"`
+	LocalBias float64 `json:"local_bias,omitempty"`
 }
 
 // MQConfigured is implemented by adapters backed by a core.MultiQueue and
@@ -106,6 +133,10 @@ func TopologyOf(impl Impl, q Queue) Topology {
 		top.Queues = cfg.Queues
 		top.Choices = cfg.Choices
 		top.Beta = cfg.Beta
+		if cfg.Shards > 1 {
+			top.Shards = cfg.Shards
+			top.LocalBias = cfg.LocalBias
+		}
 	}
 	return top
 }
@@ -130,7 +161,11 @@ func New(impl Impl, seed uint64) (Queue, error) {
 // deriving it from GOMAXPROCS.
 func NewSpec(spec Spec) (Queue, error) {
 	if beta, ok := mqBeta(spec.Impl); ok {
-		return NewMultiQueueBeta(beta, spec.Queues, spec.Seed)
+		if spec.Impl == ImplSharded && spec.Shards == 0 {
+			spec.Shards = ShardedShards
+			spec.LocalBias = ShardedLocalBias
+		}
+		return NewMultiQueueSpec(beta, spec)
 	}
 	switch spec.Impl {
 	case ImplSkipList:
@@ -152,9 +187,22 @@ func NewSpec(spec Spec) (Queue, error) {
 // β, for the β-sweep experiments (Figure 2, ablation A2). queues = 0 derives
 // the count from the host.
 func NewMultiQueueBeta(beta float64, queues int, seed uint64) (Queue, error) {
-	opts := []core.Option{core.WithBeta(beta), core.WithSeed(seed)}
-	if queues > 0 {
-		opts = append(opts, core.WithQueues(queues))
+	return NewMultiQueueSpec(beta, Spec{Queues: queues, Seed: seed})
+}
+
+// NewMultiQueueSpec constructs a (1+β) MultiQueue adapter with an arbitrary
+// β and the spec's full topology — queue count, shard count, local bias
+// (spec.Impl is not consulted).
+func NewMultiQueueSpec(beta float64, spec Spec) (Queue, error) {
+	opts := []core.Option{core.WithBeta(beta), core.WithSeed(spec.Seed)}
+	if spec.Queues > 0 {
+		opts = append(opts, core.WithQueues(spec.Queues))
+	}
+	if spec.Shards > 0 {
+		opts = append(opts, core.WithShards(spec.Shards))
+	}
+	if spec.LocalBias > 0 {
+		opts = append(opts, core.WithLocalBias(spec.LocalBias))
 	}
 	mq, err := core.New[int32](opts...)
 	if err != nil {

@@ -24,6 +24,49 @@ func TestImplsConstructible(t *testing.T) {
 	}
 }
 
+// TestShardedSpecTopology: the sharded line-up entry resolves to its
+// default shard topology, an explicit Spec overrides it, and unsharded
+// MultiQueues report no shard fields (so pre-shard JSON stays identical).
+func TestShardedSpecTopology(t *testing.T) {
+	q, err := NewSpec(Spec{Impl: ImplSharded, Queues: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := TopologyOf(ImplSharded, q)
+	if top.Shards != ShardedShards || top.LocalBias != ShardedLocalBias {
+		t.Errorf("default sharded topology: %+v", top)
+	}
+	if top.Queues != 8 || top.Beta != 1 {
+		t.Errorf("sharded base topology: %+v", top)
+	}
+
+	q, err = NewSpec(Spec{Impl: ImplSharded, Queues: 8, Shards: 2, LocalBias: 0.5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top := TopologyOf(ImplSharded, q); top.Shards != 2 || top.LocalBias != 0.5 {
+		t.Errorf("explicit shard override ignored: %+v", top)
+	}
+
+	q, err = NewSpec(Spec{Impl: ImplMultiQueue, Queues: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top := TopologyOf(ImplMultiQueue, q); top.Shards != 0 || top.LocalBias != 0 {
+		t.Errorf("unsharded queue reports shard fields: %+v", top)
+	}
+
+	// A host too small for 4 shards of d=2 queues resolves to a clamped
+	// count instead of failing construction.
+	q, err = NewSpec(Spec{Impl: ImplSharded, Queues: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top := TopologyOf(ImplSharded, q); top.Shards != 2 {
+		t.Errorf("clamped sharded topology: %+v", top)
+	}
+}
+
 func TestAllImplsRoundTrip(t *testing.T) {
 	for _, impl := range Impls() {
 		impl := impl

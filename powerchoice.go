@@ -47,6 +47,13 @@ var (
 	// WithStickiness makes handles reuse sampled queues for up to s
 	// consecutive operations (default 1 = fully random).
 	WithStickiness = core.WithStickiness
+	// WithShards partitions the queues into g contiguous shards with
+	// round-robin handle homes (g is clamped so every shard keeps at
+	// least d queues; Config.Shards reports the resolved count).
+	WithShards = core.WithShards
+	// WithLocalBias sets the probability a sharded handle samples within
+	// its home shard instead of globally (default 0 = always global).
+	WithLocalBias = core.WithLocalBias
 	// WithSeed fixes the random seed.
 	WithSeed = core.WithSeed
 	// WithAtomic enables the distributionally linearizable mode.
@@ -120,3 +127,40 @@ func (h *Handle[V]) Insert(key uint64, value V) { h.inner.Insert(key, value) }
 func (h *Handle[V]) DeleteMin() (key uint64, value V, ok bool) {
 	return h.inner.DeleteMin()
 }
+
+// InsertBatch adds len(keys) elements under a single internal lock
+// acquisition — the fast path for producers that generate work in groups.
+// keys and vals must have equal length (the call panics otherwise). The
+// whole batch lands on one internal queue; rank-wise that is equivalent to
+// an insert streak of length len(keys).
+func (h *Handle[V]) InsertBatch(keys []uint64, vals []V) {
+	h.inner.InsertBatch(keys, vals)
+}
+
+// DeleteMinBatch removes up to k elements under a single lock acquisition,
+// storing them in ascending key order into keys/vals and returning the
+// number removed (0 = the queue is empty). k ≤ 0 means the full slice
+// length. The batch is one internal queue's k smallest, so each run is
+// sorted but carries the documented extra rank relaxation of batching.
+func (h *Handle[V]) DeleteMinBatch(keys []uint64, vals []V, k int) int {
+	return h.inner.DeleteMinBatch(keys, vals, k)
+}
+
+// DeleteMinBuffered behaves like DeleteMin but refills a handle-local
+// buffer of up to k elements per lock acquisition and serves from it until
+// it drains — the convenient form of DeleteMinBatch for element-at-a-time
+// consumers. Buffered elements are invisible to other handles until
+// returned (at most k−1 per handle); interleaving DeleteMin, DeleteMinBatch
+// and DeleteMinBuffered on one handle is safe — all three drain the buffer
+// first.
+func (h *Handle[V]) DeleteMinBuffered(k int) (key uint64, value V, ok bool) {
+	return h.inner.DeleteMinBuffered(k)
+}
+
+// HandleStats reports a handle's operation counters: completed inserts and
+// deletes, try-lock failures, empty scans, and the buffered-pop accounting
+// of DeleteMinBuffered.
+type HandleStats = core.HandleStats
+
+// Stats returns the handle's operation counters.
+func (h *Handle[V]) Stats() HandleStats { return h.inner.Stats() }

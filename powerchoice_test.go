@@ -64,6 +64,75 @@ func TestFacadeOptionErrors(t *testing.T) {
 	}
 }
 
+// TestFacadeBatchOps: the batched fast path is reachable through the public
+// API — InsertBatch/DeleteMinBatch/DeleteMinBuffered plus the Stats
+// accounting, which were internal-only before.
+func TestFacadeBatchOps(t *testing.T) {
+	q, err := New[int](WithQueues(4), WithSeed(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := q.NewHandle()
+	const n = 64
+	keys := make([]uint64, n)
+	vals := make([]int, n)
+	for i := range keys {
+		keys[i] = uint64(n - i)
+		vals[i] = i
+	}
+	h.InsertBatch(keys, vals)
+	if q.Len() != n {
+		t.Fatalf("Len = %d after batch insert", q.Len())
+	}
+
+	// Drain half through DeleteMinBatch: each batch comes back sorted.
+	got := 0
+	for got < n/2 {
+		m := h.DeleteMinBatch(keys[:8], vals[:8], 8)
+		if m == 0 {
+			t.Fatal("batch pop drained early")
+		}
+		for i := 1; i < m; i++ {
+			if keys[i] < keys[i-1] {
+				t.Fatalf("batch not ascending: %v", keys[:m])
+			}
+		}
+		got += m
+	}
+	// Drain the rest through the buffered form.
+	for ; got < n; got++ {
+		if _, _, ok := h.DeleteMinBuffered(8); !ok {
+			t.Fatalf("buffered pop failed at %d", got)
+		}
+	}
+	if _, _, ok := h.DeleteMinBuffered(8); ok {
+		t.Error("extra element after full drain")
+	}
+	st := h.Stats()
+	if st.Inserts != n || st.Deletes != n || st.Buffered != 0 {
+		t.Errorf("stats after balanced batch ops: %+v", st)
+	}
+	if st.BufferedPops == 0 {
+		t.Error("buffered pops not accounted — DeleteMinBuffered did not buffer")
+	}
+}
+
+// TestFacadeShardOptions: the shard topology is configurable and reported
+// through the public facade.
+func TestFacadeShardOptions(t *testing.T) {
+	q, err := New[int](WithQueues(8), WithShards(4), WithLocalBias(0.9), WithSeed(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := q.Config()
+	if cfg.Shards != 4 || cfg.LocalBias != 0.9 {
+		t.Errorf("shard config not reported: %+v", cfg)
+	}
+	if _, err := New[int](WithLocalBias(1.5)); err == nil {
+		t.Error("local bias > 1 accepted")
+	}
+}
+
 func TestFacadeHandlesConcurrent(t *testing.T) {
 	q, err := New[uint64](WithQueueFactor(2), WithSeed(7))
 	if err != nil {
