@@ -41,7 +41,7 @@ func threadCounts() []int {
 func runPairs(b *testing.B, q pqadapt.Queue, threads int) {
 	b.Helper()
 	per := b.N/threads + 1
-	sh := xrand.NewSharded(uint64(b.N))
+	sh := xrand.NewSharded(xrand.Tag(uint64(b.N), "bench.figure1.pairs"))
 	var wg sync.WaitGroup
 	b.ResetTimer()
 	for w := 0; w < threads; w++ {

@@ -1,0 +1,90 @@
+// Command powervet machine-checks the repository's concurrency, RNG, and
+// hot-path invariants: the disciplines the throughput and rank-bound claims
+// rest on, which `go vet` cannot see. It runs five repo-specific analyzers
+// (rngtag, hotpath, lockscope, cacheline, detrand — see internal/analysis)
+// over the module containing the current directory.
+//
+// Usage:
+//
+//	powervet [-C dir] [-list] [packages]
+//
+// Package patterns are ./-relative ("./...", "./internal/core",
+// "./internal/bench/..."); no patterns means the whole module. Exit status
+// is 0 when clean, 1 when any analyzer reported findings, 2 when the tree
+// failed to load or type-check.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"powerchoice/internal/analysis"
+)
+
+func main() {
+	chdir := flag.String("C", "", "analyze the module rooted at this directory instead of the working directory")
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: powervet [-C dir] [-list] [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "Machine-checks this repository's concurrency, RNG, and hot-path invariants.\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.Suite() {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	root := *chdir
+	if root == "" {
+		var err error
+		root, err = os.Getwd()
+		if err != nil {
+			fatal(err)
+		}
+	}
+	root, err := findModuleRoot(root)
+	if err != nil {
+		fatal(err)
+	}
+
+	diags, err := analysis.RunTree(root, flag.Args())
+	if err != nil {
+		fatal(err)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "powervet: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "powervet: %v\n", err)
+	os.Exit(2)
+}
+
+// findModuleRoot walks up from dir to the directory containing go.mod.
+func findModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

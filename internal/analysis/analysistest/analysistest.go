@@ -1,0 +1,134 @@
+// Package analysistest runs powervet analyzers over fixture packages under
+// testdata/src and checks their findings against inline expectations — a
+// stdlib-only analogue of golang.org/x/tools/go/analysis/analysistest.
+//
+// A fixture package lives at testdata/src/<importpath>/ and may import
+// other fixture packages by path (the rngtag fixtures import a stub
+// powerchoice/internal/xrand). Expected findings are written as trailing
+// comments on the line the analyzer reports:
+//
+//	x := make([]int, 8) // want "make allocates"
+//
+// Each quoted string is an anchored-nowhere regexp matched against the
+// diagnostic message; several may follow one want. The run fails on any
+// unmatched expectation (a check that silently stopped firing) and on any
+// unexpected diagnostic (a check that over-reports) — both directions, so
+// fixtures prove analyzers fail when they must and stay quiet when they
+// must.
+package analysistest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"powerchoice/internal/analysis"
+)
+
+// Run loads each fixture package (rooted at testdata/src under the test's
+// working directory), applies the analyzer (Run and, if set, Finish across
+// all listed packages together), and verifies expectations in both
+// directions. It returns the diagnostics for any extra assertions.
+func Run(t *testing.T, a *analysis.Analyzer, fixturePaths ...string) []analysis.Diagnostic {
+	t.Helper()
+	root := filepath.Join("testdata", "src")
+	l := analysis.NewFixtureLoader(root)
+	var pkgs []*analysis.Package
+	for _, path := range fixturePaths {
+		units, err := l.LoadDir(filepath.Join(root, filepath.FromSlash(path)), path, true)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", path, err)
+		}
+		if len(units) == 0 {
+			t.Fatalf("fixture %s has no Go files", path)
+		}
+		pkgs = append(pkgs, units...)
+	}
+	diags, err := analysis.RunUnits(l, pkgs, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	wants := collectWants(t, l, pkgs)
+	matched := make([]bool, len(diags))
+	for _, w := range wants {
+		found := false
+		for i, d := range diags {
+			if matched[i] || d.Pos.Filename != w.file || d.Pos.Line != w.line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				matched[i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s:%d: no %s diagnostic matching %q", w.file, w.line, a.Name, w.re)
+		}
+	}
+	for i, d := range diags {
+		if !matched[i] {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	return diags
+}
+
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+var wantComment = regexp.MustCompile(`//\s*want\s+(.*)`)
+var wantPattern = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+func collectWants(t *testing.T, l *analysis.Loader, pkgs []*analysis.Package) []want {
+	t.Helper()
+	var wants []want
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantComment.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := l.Fset.Position(c.Pos())
+					quoted := wantPattern.FindAllString(m[1], -1)
+					if len(quoted) == 0 {
+						t.Fatalf("%s:%d: malformed want comment %q", pos.Filename, pos.Line, c.Text)
+					}
+					for _, q := range quoted {
+						pat, err := strconv.Unquote(q)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want pattern %s: %v", pos.Filename, pos.Line, q, err)
+						}
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("%s:%d: want pattern %q: %v", pos.Filename, pos.Line, pat, err)
+						}
+						wants = append(wants, want{file: pos.Filename, line: pos.Line, re: re})
+					}
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// Sanity guard used by fixtures that must stay finding-free.
+func MustBeClean(t *testing.T, diags []analysis.Diagnostic, context string) {
+	t.Helper()
+	if len(diags) > 0 {
+		var b strings.Builder
+		for _, d := range diags {
+			fmt.Fprintf(&b, "\n  %s", d)
+		}
+		t.Fatalf("%s: expected no findings, got %d:%s", context, len(diags), b.String())
+	}
+}

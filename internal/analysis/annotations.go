@@ -1,0 +1,257 @@
+package analysis
+
+import (
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Annotations is the result of a syntax-only sweep over a module tree: every
+// powervet annotation plus every AllocsPerRun-based test, without type
+// checking. Tests use it to derive their expectations from the annotations
+// themselves instead of hardcoding copies that drift:
+//
+//   - the hotpath meta-test ties each //powervet:hotpath function to a
+//     runtime AllocsPerRun test (or an explicit waiver);
+//   - core's padding test reads its expected struct size from the
+//     //powervet:cacheline annotation it verifies at runtime.
+type Annotations struct {
+	// HotPath lists every //powervet:hotpath function, keyed
+	// "<import path>.<Receiver.>Name".
+	HotPath []AnnotatedFunc
+	// CacheLine lists every //powervet:cacheline=N type, keyed
+	// "<import path>.<TypeName>".
+	CacheLine []CacheLineSpec
+	// AllocTests lists every Test/Benchmark function whose body calls
+	// AllocsPerRun, keyed "<import path>.<Name>".
+	AllocTests []AnnotatedFunc
+}
+
+// AnnotatedFunc is one function found by ScanAnnotations.
+type AnnotatedFunc struct {
+	Key string
+	Pos token.Position
+}
+
+// CacheLineSpec is one //powervet:cacheline annotation.
+type CacheLineSpec struct {
+	Key   string
+	Bytes int64
+	Pos   token.Position
+}
+
+// ReadModulePath returns the module path declared in root's go.mod.
+func ReadModulePath(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", fmt.Errorf("powervet: reading go.mod: %w", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", errors.New("powervet: no module directive in go.mod")
+}
+
+// ScanAnnotations parses (without type-checking) every Go file of the
+// module rooted at root, tests included, and collects powervet annotations
+// and AllocsPerRun tests.
+func ScanAnnotations(root string) (*Annotations, error) {
+	modPath, err := ReadModulePath(root)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	ann := &Annotations{}
+	tests := make(map[string]*pkgTestFuncs)
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, walkErr error) error {
+		if walkErr != nil {
+			return walkErr
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			return nil
+		}
+		rel, err := filepath.Rel(root, filepath.Dir(path))
+		if err != nil {
+			return err
+		}
+		importPath := modPath
+		if rel != "." {
+			importPath = modPath + "/" + filepath.ToSlash(rel)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return err
+		}
+		scanFile(fset, f, importPath, ann)
+		if strings.HasSuffix(name, "_test.go") {
+			pt := tests[importPath]
+			if pt == nil {
+				pt = &pkgTestFuncs{calls: map[string][]string{}, mentions: map[string]bool{}, pos: map[string]token.Position{}}
+				tests[importPath] = pt
+			}
+			scanTestFile(fset, f, pt)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for importPath, pt := range tests {
+		for _, name := range pt.allocTests() {
+			ann.AllocTests = append(ann.AllocTests, AnnotatedFunc{
+				Key: importPath + "." + name,
+				Pos: pt.pos[name],
+			})
+		}
+	}
+	sortAnnotated(ann.HotPath)
+	sortAnnotated(ann.AllocTests)
+	sort.Slice(ann.CacheLine, func(i, j int) bool { return ann.CacheLine[i].Key < ann.CacheLine[j].Key })
+	return ann, nil
+}
+
+func sortAnnotated(fns []AnnotatedFunc) {
+	sort.Slice(fns, func(i, j int) bool { return fns[i].Key < fns[j].Key })
+}
+
+func scanFile(fset *token.FileSet, f *ast.File, importPath string, ann *Annotations) {
+	for _, decl := range f.Decls {
+		switch decl := decl.(type) {
+		case *ast.FuncDecl:
+			if _, ok := directive(decl.Doc, "hotpath"); ok {
+				ann.HotPath = append(ann.HotPath, AnnotatedFunc{
+					Key: importPath + "." + funcDeclKey(decl),
+					Pos: fset.Position(decl.Name.Pos()),
+				})
+			}
+		case *ast.GenDecl:
+			for _, spec := range decl.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				arg, ok := directive(ts.Doc, "cacheline")
+				if !ok {
+					arg, ok = directive(decl.Doc, "cacheline")
+				}
+				if !ok {
+					continue
+				}
+				n, err := strconv.ParseInt(arg, 10, 64)
+				if err != nil {
+					continue // the cacheline analyzer reports malformed targets
+				}
+				ann.CacheLine = append(ann.CacheLine, CacheLineSpec{
+					Key:   importPath + "." + ts.Name.Name,
+					Bytes: n,
+					Pos:   fset.Position(ts.Name.Pos()),
+				})
+			}
+		}
+	}
+}
+
+// funcDeclKey is "<Receiver.>Name" with pointer and type parameters
+// stripped from the receiver: (q *lockedQueue[V]) push -> lockedQueue.push.
+func funcDeclKey(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	t := fd.Recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr:
+			t = tt.X
+		case *ast.IndexListExpr:
+			t = tt.X
+		case *ast.Ident:
+			return tt.Name + "." + fd.Name.Name
+		default:
+			return fd.Name.Name
+		}
+	}
+}
+
+// pkgTestFuncs is the per-package view of _test.go functions needed to
+// decide which tests reach testing.AllocsPerRun: tests rarely call it
+// directly — core's go through an assertZeroAllocs helper — so reachability
+// is computed over the same-package test call graph.
+type pkgTestFuncs struct {
+	calls    map[string][]string // function -> names it calls
+	mentions map[string]bool     // function bodies containing AllocsPerRun
+	pos      map[string]token.Position
+}
+
+func scanTestFile(fset *token.FileSet, f *ast.File, pt *pkgTestFuncs) {
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		name := fd.Name.Name
+		pt.pos[name] = fset.Position(fd.Name.Pos())
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				if n.Sel.Name == "AllocsPerRun" {
+					pt.mentions[name] = true
+				}
+			case *ast.CallExpr:
+				if id, ok := n.Fun.(*ast.Ident); ok {
+					pt.calls[name] = append(pt.calls[name], id.Name)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// allocTests returns the Test/Benchmark functions that reach AllocsPerRun
+// through any chain of same-package helpers (fixpoint over the call graph).
+func (pt *pkgTestFuncs) allocTests() []string {
+	reaches := make(map[string]bool, len(pt.mentions))
+	for name := range pt.mentions {
+		reaches[name] = true
+	}
+	for changed := true; changed; {
+		changed = false
+		for name, callees := range pt.calls {
+			if reaches[name] {
+				continue
+			}
+			for _, c := range callees {
+				if reaches[c] {
+					reaches[name] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	var out []string
+	for name := range reaches {
+		if strings.HasPrefix(name, "Test") || strings.HasPrefix(name, "Benchmark") {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

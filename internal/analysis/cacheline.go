@@ -1,0 +1,107 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// CacheLine verifies //powervet:cacheline=N annotations: the annotated
+// struct's size under the gc sizes model must be exactly N bytes, and N
+// must be a positive multiple of 64 (the padding exists to keep each
+// per-queue slot on its own cache-line pair, so false sharing between
+// neighboring queues cannot distort the contention measurements).
+//
+// Generic types are checked at representative instantiations (int64,
+// string, [3]uint64 — the value shapes the benchmarks and tests exercise),
+// since an uninstantiated type parameter has no size.
+var CacheLine = &Analyzer{
+	Name: "cacheline",
+	Doc:  "//powervet:cacheline=N structs must be exactly N bytes (N a positive multiple of 64)",
+	Run:  runCacheLine,
+}
+
+func runCacheLine(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				// The directive may sit on the type spec (grouped decls) or on
+				// the GenDecl (the common `type foo struct` form).
+				arg, ok := directive(ts.Doc, "cacheline")
+				if !ok {
+					arg, ok = directive(gd.Doc, "cacheline")
+				}
+				if !ok {
+					continue
+				}
+				checkCacheLine(pass, ts, arg)
+			}
+		}
+	}
+	return nil
+}
+
+func checkCacheLine(pass *Pass, ts *ast.TypeSpec, arg string) {
+	want, err := strconv.ParseInt(arg, 10, 64)
+	if err != nil || want <= 0 || want%64 != 0 {
+		pass.Reportf(ts.Pos(), "//powervet:cacheline=%s: size must be a positive multiple of 64", arg)
+		return
+	}
+	obj, ok := pass.Info.Defs[ts.Name].(*types.TypeName)
+	if !ok {
+		return
+	}
+	named, ok := obj.Type().(*types.Named)
+	if !ok {
+		pass.Reportf(ts.Pos(), "//powervet:cacheline applies to defined struct types, not aliases")
+		return
+	}
+	if _, ok := named.Underlying().(*types.Struct); !ok {
+		pass.Reportf(ts.Pos(), "//powervet:cacheline applies to struct types; %s is not a struct", ts.Name.Name)
+		return
+	}
+
+	instances := [][]types.Type{nil}
+	if tp := named.TypeParams(); tp != nil && tp.Len() > 0 {
+		// Representative element shapes: word-sized scalar, pointer-carrying
+		// header, and a multi-word value.
+		basics := []types.Type{
+			types.Typ[types.Int64],
+			types.Typ[types.String],
+			types.NewArray(types.Typ[types.Uint64], 3),
+		}
+		instances = instances[:0]
+		for _, b := range basics {
+			targs := make([]types.Type, tp.Len())
+			for i := range targs {
+				targs[i] = b
+			}
+			instances = append(instances, targs)
+		}
+	}
+	for _, targs := range instances {
+		t := types.Type(named)
+		label := ts.Name.Name
+		if targs != nil {
+			inst, err := types.Instantiate(nil, named, targs, true)
+			if err != nil {
+				pass.Reportf(ts.Pos(), "//powervet:cacheline: cannot instantiate %s with %s: %v", ts.Name.Name, types.TypeString(targs[0], nil), err)
+				continue
+			}
+			t = inst
+			label = types.TypeString(inst, types.RelativeTo(pass.Pkg))
+		}
+		got := pass.Sizes.Sizeof(t)
+		if got != want {
+			pass.Reportf(ts.Pos(), "//powervet:cacheline=%d: %s is %d bytes; adjust the trailing padding", want, label, got)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DetRand guards the deterministic model packages — the sequential
+// processes, balls-into-bins models, and sequential heaps whose outputs the
+// experiment harness treats as pure functions of their seed (EXPERIMENTS.md
+// replays them to validate the concurrent implementation against the
+// paper's rank bounds). Two nondeterminism leaks are rejected:
+//
+//   - wall-clock reads (time.Now, time.Since): model time must be logical,
+//     never physical;
+//   - ranging over a map: Go randomizes map iteration order, so any
+//     map-ordered fold changes results run to run. Iterate a sorted key
+//     slice instead.
+var DetRand = &Analyzer{
+	Name: "detrand",
+	Doc:  "deterministic model packages must not read the wall clock or iterate maps",
+	Run:  runDetRand,
+}
+
+func runDetRand(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				fn := funcObj(pass.Info, n)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+					return true
+				}
+				switch fn.Name() {
+				case "Now", "Since", "Until":
+					pass.Reportf(n.Pos(), "time.%s in a deterministic model package: results must be a pure function of the seed, not the wall clock", fn.Name())
+				}
+			case *ast.RangeStmt:
+				t := pass.Info.TypeOf(n.X)
+				if t == nil {
+					return true
+				}
+				if _, ok := t.Underlying().(*types.Map); ok {
+					pass.Reportf(n.Pos(), "map iteration in a deterministic model package has randomized order; iterate a sorted key slice instead")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

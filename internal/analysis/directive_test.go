@@ -1,0 +1,130 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func TestParseAllow(t *testing.T) {
+	cases := []struct {
+		text         string
+		name, reason string
+		ok           bool
+	}{
+		{"//powervet:allow rngtag the root family is owned here", "rngtag", "the root family is owned here", true},
+		{"//powervet:allow hotpath amortized growth", "hotpath", "amortized growth", true},
+		// Malformed allows parse as ok with an empty name so
+		// CheckDirectives can flag them: a waiver without a reason (or
+		// without an analyzer) must not silently suppress findings.
+		{"//powervet:allow rngtag", "", "", true},
+		{"//powervet:allow", "", "", true},
+		{"//powervet:allow   ", "", "", true},
+		{"//powervet:hotpath", "", "", false},
+		{"// ordinary comment", "", "", false},
+	}
+	for _, c := range cases {
+		name, reason, ok := parseAllow(c.text)
+		if name != c.name || reason != c.reason || ok != c.ok {
+			t.Errorf("parseAllow(%q) = (%q, %q, %v), want (%q, %q, %v)",
+				c.text, name, reason, ok, c.name, c.reason, c.ok)
+		}
+	}
+}
+
+func TestDirectiveForms(t *testing.T) {
+	src := `package p
+
+//powervet:hotpath
+func bare() {}
+
+//powervet:cacheline=128
+type eq struct{}
+
+//powervet:locks result.lock
+func spaced() {}
+
+//powervet:hotpathological
+func prefixNotVerb() {}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := map[string]struct {
+		verb, arg string
+		ok        bool
+	}{
+		"bare":          {"hotpath", "", true},
+		"eq":            {"cacheline", "128", true},
+		"spaced":        {"locks", "result.lock", true},
+		"prefixNotVerb": {"hotpath", "", false}, // a longer verb must not match as a prefix
+	}
+	checked := 0
+	for _, d := range f.Decls {
+		var name string
+		var doc *ast.CommentGroup
+		switch d := d.(type) {
+		case *ast.FuncDecl:
+			name, doc = d.Name.Name, d.Doc
+		case *ast.GenDecl:
+			if ts, ok := d.Specs[0].(*ast.TypeSpec); ok {
+				name, doc = ts.Name.Name, d.Doc
+			}
+		}
+		want, tracked := wants[name]
+		if !tracked {
+			continue
+		}
+		checked++
+		arg, ok := directive(doc, want.verb)
+		if arg != want.arg || ok != want.ok {
+			t.Errorf("directive(%s, %q) = (%q, %v), want (%q, %v)", name, want.verb, arg, ok, want.arg, want.ok)
+		}
+	}
+	if checked != len(wants) {
+		t.Fatalf("checked %d declarations, want %d", checked, len(wants))
+	}
+}
+
+func TestCheckDirectivesMalformed(t *testing.T) {
+	src := `package p
+
+//powervet:hotpth
+func typo() {}
+
+//powervet:allow rngtag
+func noReason() {}
+
+//powervet:allow nosuch because reasons
+func unknownAnalyzer() {}
+
+//powervet:allow hotpath a fine reason
+func fine() {}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	CheckDirectives(fset, []*ast.File{f}, Suite(), func(d Diagnostic) {
+		got = append(got, d.Message)
+	})
+	wants := []string{
+		`unknown powervet directive "hotpth"`,
+		"malformed //powervet:allow: need an analyzer name and a reason",
+		`//powervet:allow names unknown analyzer "nosuch"`,
+	}
+	if len(got) != len(wants) {
+		t.Fatalf("CheckDirectives reported %d diagnostics %q, want %d", len(got), got, len(wants))
+	}
+	for i, w := range wants {
+		if !strings.Contains(got[i], w) {
+			t.Errorf("diagnostic %d = %q, want substring %q", i, got[i], w)
+		}
+	}
+}

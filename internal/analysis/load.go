@@ -1,0 +1,326 @@
+package analysis
+
+import (
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Package is one analysis unit: a package's syntax plus full type
+// information. A directory yields up to two units — the package itself
+// (in-package _test.go files merged in when tests are loaded) and, when one
+// exists, the external test package (package foo_test), which shares the
+// import path but is marked ForTest.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Files      []*ast.File
+	// testFiles marks which of Files came from _test.go sources.
+	testFiles map[*ast.File]bool
+	Types     *types.Package
+	Info      *types.Info
+	ForTest   bool
+}
+
+// IsTestFile reports whether f was parsed from a _test.go source.
+func (p *Package) IsTestFile(f *ast.File) bool { return p.testFiles[f] }
+
+// Loader loads a module's packages with full type information using only
+// the standard library: module-internal imports are type-checked from
+// source in-place, and standard-library imports go through go/importer's
+// source importer (the gc importer needs pre-compiled export data, which
+// modern toolchains no longer ship). No network, no GOPATH, no go/packages.
+type Loader struct {
+	Fset  *token.FileSet
+	Sizes types.Sizes
+
+	root    string
+	modPath string
+	// fixtureMode resolves any non-stdlib import path as a directory under
+	// root — the layout analyzer test fixtures use (testdata/src/<path>).
+	fixtureMode bool
+
+	buildCtx build.Context
+	stdImp   types.Importer
+	deps     map[string]*types.Package
+	loading  map[string]bool
+}
+
+// NewLoader returns a loader rooted at the module directory containing
+// go.mod.
+func NewLoader(root string) (*Loader, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, fmt.Errorf("powervet: reading go.mod: %w", err)
+	}
+	modPath := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+			modPath = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if modPath == "" {
+		return nil, errors.New("powervet: no module directive in go.mod")
+	}
+	l := newLoader(root)
+	l.modPath = modPath
+	return l, nil
+}
+
+// NewFixtureLoader returns a loader for analyzer test fixtures: every
+// non-stdlib import resolves to a directory under root (testdata/src).
+func NewFixtureLoader(root string) *Loader {
+	l := newLoader(root)
+	l.fixtureMode = true
+	return l
+}
+
+func newLoader(root string) *Loader {
+	fset := token.NewFileSet()
+	ctx := build.Default
+	return &Loader{
+		Fset:     fset,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+		root:     root,
+		buildCtx: ctx,
+		stdImp:   importer.ForCompiler(fset, "source", nil),
+		deps:     make(map[string]*types.Package),
+		loading:  make(map[string]bool),
+	}
+}
+
+// moduleDir maps an import path to a directory under the loader's root, or
+// ok=false when the path is not module-internal.
+func (l *Loader) moduleDir(path string) (string, bool) {
+	if l.fixtureMode {
+		dir := filepath.Join(l.root, filepath.FromSlash(path))
+		if st, err := os.Stat(dir); err == nil && st.IsDir() {
+			return dir, true
+		}
+		return "", false
+	}
+	if path == l.modPath {
+		return l.root, true
+	}
+	if rest, ok := strings.CutPrefix(path, l.modPath+"/"); ok {
+		return filepath.Join(l.root, filepath.FromSlash(rest)), true
+	}
+	return "", false
+}
+
+// Import implements types.Importer for dependency resolution during unit
+// type-checking: module-internal packages are type-checked from their
+// non-test sources (cached), everything else delegates to the source
+// importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	dir, ok := l.moduleDir(path)
+	if !ok {
+		return l.stdImp.Import(path)
+	}
+	if pkg, ok := l.deps[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+	files, _, err := l.parseDir(dir, false)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	conf := types.Config{Importer: l, Sizes: l.Sizes}
+	pkg, err := conf.Check(path, l.Fset, files, nil)
+	if err != nil {
+		return nil, err
+	}
+	l.deps[path] = pkg
+	return pkg, nil
+}
+
+// parseDir parses the build-constraint-satisfying Go files of dir,
+// returning non-test files and (when includeTests) test files separately.
+func (l *Loader) parseDir(dir string, includeTests bool) (files, testFiles []*ast.File, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		isTest := strings.HasSuffix(name, "_test.go")
+		if isTest && !includeTests {
+			continue
+		}
+		// MatchFile honors //go:build lines and GOOS/GOARCH suffixes with
+		// the default tag set, so e.g. a `//go:build race` helper file is
+		// excluded exactly as `go build` would exclude it.
+		match, err := l.buildCtx.MatchFile(dir, name)
+		if err != nil {
+			return nil, nil, err
+		}
+		if !match {
+			continue
+		}
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, nil, err
+		}
+		if isTest {
+			testFiles = append(testFiles, f)
+		} else {
+			files = append(files, f)
+		}
+	}
+	return files, testFiles, nil
+}
+
+// LoadDir loads the analysis units of one directory.
+func (l *Loader) LoadDir(dir, importPath string, includeTests bool) ([]*Package, error) {
+	files, testFiles, err := l.parseDir(dir, includeTests)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 && len(testFiles) == 0 {
+		return nil, nil
+	}
+	pkgName := ""
+	if len(files) > 0 {
+		pkgName = files[0].Name.Name
+	} else {
+		pkgName = strings.TrimSuffix(testFiles[0].Name.Name, "_test")
+	}
+
+	var units []*Package
+	unitFiles := append([]*ast.File(nil), files...)
+	isTest := make(map[*ast.File]bool)
+	var extFiles []*ast.File
+	extIsTest := make(map[*ast.File]bool)
+	for _, f := range testFiles {
+		switch f.Name.Name {
+		case pkgName:
+			unitFiles = append(unitFiles, f)
+			isTest[f] = true
+		case pkgName + "_test":
+			extFiles = append(extFiles, f)
+			extIsTest[f] = true
+		default:
+			return nil, fmt.Errorf("%s: unexpected package %s in test file %s", dir, f.Name.Name, l.Fset.Position(f.Package).Filename)
+		}
+	}
+
+	if len(unitFiles) > 0 {
+		pkg, err := l.check(importPath, unitFiles)
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, &Package{
+			ImportPath: importPath, Dir: dir,
+			Files: unitFiles, testFiles: isTest,
+			Types: pkg.Types, Info: pkg.Info,
+		})
+	}
+	if len(extFiles) > 0 {
+		pkg, err := l.check(importPath+"_test", extFiles)
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, &Package{
+			ImportPath: importPath, Dir: dir,
+			Files: extFiles, testFiles: extIsTest,
+			Types: pkg.Types, Info: pkg.Info,
+			ForTest: true,
+		})
+	}
+	return units, nil
+}
+
+type checked struct {
+	Types *types.Package
+	Info  *types.Info
+}
+
+func (l *Loader) check(path string, files []*ast.File) (checked, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	var errs []error
+	conf := types.Config{
+		Importer: l,
+		Sizes:    l.Sizes,
+		Error:    func(err error) { errs = append(errs, err) },
+	}
+	pkg, _ := conf.Check(path, l.Fset, files, info)
+	if len(errs) > 0 {
+		return checked{}, fmt.Errorf("powervet: type-checking %s: %w", path, errors.Join(errs...))
+	}
+	return checked{Types: pkg, Info: info}, nil
+}
+
+// LoadAll walks the module tree and loads every package directory, skipping
+// hidden directories and testdata.
+func (l *Loader) LoadAll(includeTests bool) ([]*Package, error) {
+	if l.fixtureMode {
+		return nil, errors.New("powervet: LoadAll is not supported in fixture mode")
+	}
+	var dirs []string
+	err := filepath.WalkDir(l.root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != l.root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+			return filepath.SkipDir
+		}
+		dirs = append(dirs, path)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	var pkgs []*Package
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(l.root, dir)
+		if err != nil {
+			return nil, err
+		}
+		importPath := l.modPath
+		if rel != "." {
+			importPath = l.modPath + "/" + filepath.ToSlash(rel)
+		}
+		units, err := l.LoadDir(dir, importPath, includeTests)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, units...)
+	}
+	return pkgs, nil
+}

@@ -1,0 +1,147 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// xrandPath is the one package allowed to own raw seeds and math/rand.
+const xrandPath = "powerchoice/internal/xrand"
+
+// RngTag enforces the repository's RNG stream hygiene — the invariant whose
+// violation was PR 4's harness/queue stream collision, and a side condition
+// of the paper's rank bounds (per-handle streams must be independent of the
+// workload's streams):
+//
+//  1. Every xrand.NewSharded call outside internal/xrand must derive its
+//     seed via a direct xrand.Tag(seed, tag) call. NewSharded hands out a
+//     whole indexed family of generators; two families rooted at the same
+//     raw seed produce identical streams at overlapping indices.
+//  2. The tag must be a string constant, and distinct call sites must use
+//     distinct tags: two direct literals with equal text collide, as do two
+//     distinct named constants with equal values. Reusing one named
+//     constant at several sites is allowed — that is how a regression test
+//     deliberately reproduces a harness's family.
+//  3. math/rand (and v2) may not be imported outside internal/xrand: all
+//     randomness must flow through the seedable, bit-reproducible xrand
+//     substrate.
+var RngTag = &Analyzer{
+	Name:      "rngtag",
+	Doc:       "xrand.NewSharded seeds must be domain-separated via distinct xrand.Tag tags; math/rand is forbidden outside internal/xrand",
+	TestFiles: true,
+	Run:       runRngTag,
+	Finish:    finishRngTag,
+}
+
+func runRngTag(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if path == "math/rand" || path == "math/rand/v2" {
+				pass.Reportf(imp.Pos(), "import of %s is forbidden outside internal/xrand; use %s (seedable, bit-reproducible)", path, xrandPath)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := funcObj(pass.Info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != xrandPath {
+				return true
+			}
+			switch fn.Name() {
+			case "NewSharded":
+				if len(call.Args) == 1 && !isTagCall(pass.Info, call.Args[0]) {
+					pass.Reportf(call.Pos(), "xrand.NewSharded seed must be derived via xrand.Tag(seed, \"<distinct tag>\"): untagged stream families rooted at a shared seed hand out identical generators at overlapping indices")
+				}
+			case "Tag":
+				recordTag(pass, call)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isTagCall reports whether e is a direct xrand.Tag(...) call.
+func isTagCall(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := funcObj(info, call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == xrandPath && fn.Name() == "Tag"
+}
+
+// recordTag validates one xrand.Tag call's tag argument and records it for
+// the cross-package uniqueness check.
+func recordTag(pass *Pass, call *ast.CallExpr) {
+	if len(call.Args) != 2 {
+		return
+	}
+	arg := ast.Unparen(call.Args[1])
+	tv, ok := pass.Info.Types[arg]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		pass.Reportf(arg.Pos(), "xrand.Tag tag must be a string constant so domain separation is auditable at analysis time")
+		return
+	}
+	use := TagUse{
+		Lit: constant.StringVal(tv.Value),
+		Pos: pass.Fset.Position(call.Pos()),
+	}
+	if id, ok := arg.(*ast.Ident); ok {
+		if obj := pass.Info.Uses[id]; obj != nil {
+			use.ConstID = pass.Fset.Position(obj.Pos()).String()
+		}
+	} else if sel, ok := arg.(*ast.SelectorExpr); ok {
+		if obj := pass.Info.Uses[sel.Sel]; obj != nil {
+			use.ConstID = pass.Fset.Position(obj.Pos()).String()
+		}
+	}
+	// Waivers are resolved now because Finish runs without line context.
+	p := use.Pos
+	if pass.allow[allowKey{p.Filename, p.Line, pass.Analyzer.Name}] {
+		use.Waived = true
+	}
+	pass.Global.TagUses = append(pass.Global.TagUses, use)
+}
+
+// finishRngTag runs after every package: tags with more than one source
+// (direct literals each count as a source; a named constant counts once no
+// matter how many sites use it) collide and are reported at each
+// non-waived occurrence.
+func finishRngTag(g *Global, report func(Diagnostic)) {
+	byLit := make(map[string][]TagUse)
+	for _, u := range g.TagUses {
+		byLit[u.Lit] = append(byLit[u.Lit], u)
+	}
+	for lit, uses := range byLit {
+		sources := make(map[string]bool)
+		n := 0
+		for _, u := range uses {
+			id := u.ConstID
+			if id == "" {
+				n++
+				id = fmt.Sprintf("lit#%d", n)
+			}
+			sources[id] = true
+		}
+		if len(sources) < 2 {
+			continue
+		}
+		for _, u := range uses {
+			if u.Waived {
+				continue
+			}
+			report(Diagnostic{
+				Pos:      u.Pos,
+				Analyzer: "rngtag",
+				Message:  fmt.Sprintf("domain-separation tag %q is shared by %d independent sources; every xrand.Tag call site (or constant) needs a distinct tag, or the streams it derives collide", lit, len(sources)),
+			})
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package analysis
+
+import (
+	"strings"
+)
+
+// appliesTo is the default scoping policy: which analyzers run on which
+// packages. It lives in the runner, not the analyzers, so the analyzers
+// stay testable on arbitrary fixture packages.
+//
+//   - rngtag runs everywhere except internal/xrand itself (the one package
+//     allowed to own raw seeds), including test files — the PR 4 stream
+//     collision lived in a benchmark harness.
+//   - lockscope runs on internal/core, the package that owns the spinlocks.
+//     Test files are exempt: tests deliberately hold queue locks across
+//     helpers (defer Unlock, returned unlock closures) to simulate
+//     contention, shapes the analyzer conservatively rejects.
+//   - detrand runs on the deterministic model packages, whose outputs must
+//     be a pure function of their seed: the sequential processes
+//     (internal/seqproc), the balls-into-bins models (internal/ballsbins),
+//     and the sequential heaps (internal/pqueue).
+//   - hotpath and cacheline run everywhere; they are annotation-driven and
+//     cost nothing on unannotated packages.
+func appliesTo(a *Analyzer, p *Package) bool {
+	sub := func(s string) bool {
+		return p.ImportPath == "powerchoice/internal/"+s ||
+			strings.HasPrefix(p.ImportPath, "powerchoice/internal/"+s+"/")
+	}
+	switch a.Name {
+	case "rngtag":
+		return !sub("xrand")
+	case "lockscope":
+		return sub("core")
+	case "detrand":
+		return sub("seqproc") || sub("ballsbins") || sub("pqueue")
+	default:
+		return true
+	}
+}
+
+// RunPackages runs the given analyzers over the given units (honoring the
+// default scoping policy and per-analyzer test-file setting), validates
+// powervet directives, runs cross-package Finish phases, and returns the
+// sorted findings.
+func RunPackages(l *Loader, pkgs []*Package, suite []*Analyzer) ([]Diagnostic, error) {
+	return run(l, pkgs, suite, true)
+}
+
+// RunUnits is RunPackages without the tree scoping policy: every analyzer
+// runs on every unit. Analyzer fixtures use it so each analyzer can be
+// exercised on arbitrary test packages.
+func RunUnits(l *Loader, pkgs []*Package, suite []*Analyzer) ([]Diagnostic, error) {
+	return run(l, pkgs, suite, false)
+}
+
+func run(l *Loader, pkgs []*Package, suite []*Analyzer, usePolicy bool) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	report := func(d Diagnostic) { diags = append(diags, d) }
+	global := &Global{}
+	for _, p := range pkgs {
+		allow := buildAllow(l.Fset, p.Files)
+		CheckDirectives(l.Fset, p.Files, suite, report)
+		for _, a := range suite {
+			if usePolicy && !appliesTo(a, p) {
+				continue
+			}
+			files := p.Files
+			if !a.TestFiles {
+				files = files[:0:0]
+				for _, f := range p.Files {
+					if !p.IsTestFile(f) {
+						files = append(files, f)
+					}
+				}
+				if len(files) == 0 {
+					continue
+				}
+			}
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     l.Fset,
+				Files:    files,
+				Pkg:      p.Types,
+				Info:     p.Info,
+				Sizes:    l.Sizes,
+				Path:     p.ImportPath,
+				ForTest:  p.ForTest,
+				Global:   global,
+				allow:    allow,
+				report:   report,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, a := range suite {
+		if a.Finish != nil {
+			a.Finish(global, report)
+		}
+	}
+	SortDiagnostics(diags)
+	return diags, nil
+}
+
+// RunTree loads the module rooted at root (tests included) and runs the
+// full powervet suite over it. This is the single entry point shared by
+// cmd/powervet and the in-repo regression test that pins the tree clean.
+func RunTree(root string, patterns []string) ([]Diagnostic, error) {
+	l, err := NewLoader(root)
+	if err != nil {
+		return nil, err
+	}
+	pkgs, err := l.LoadAll(true)
+	if err != nil {
+		return nil, err
+	}
+	if filtered := filterPackages(pkgs, l.modPath, patterns); filtered != nil {
+		pkgs = filtered
+	}
+	return RunPackages(l, pkgs, Suite())
+}
+
+// filterPackages narrows pkgs to the given ./-style patterns ("./...",
+// "./internal/core", "./internal/bench/..."). Nil patterns — or any "./..."
+// among them — select everything (nil return means "no filtering").
+func filterPackages(pkgs []*Package, modPath string, patterns []string) []*Package {
+	if len(patterns) == 0 {
+		return nil
+	}
+	var prefixes []string
+	for _, pat := range patterns {
+		pat = strings.TrimPrefix(pat, "./")
+		recursive := false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			pat, recursive = rest, true
+		} else if pat == "..." {
+			pat, recursive = "", true
+		}
+		path := modPath
+		if pat != "" && pat != "." {
+			path = modPath + "/" + strings.TrimSuffix(pat, "/")
+		}
+		if recursive && path == modPath {
+			return nil // "./..." selects the whole module
+		}
+		if recursive {
+			prefixes = append(prefixes, path+"/")
+		}
+		prefixes = append(prefixes, path)
+	}
+	var out []*Package
+	for _, p := range pkgs {
+		for _, pre := range prefixes {
+			if p.ImportPath == pre || (strings.HasSuffix(pre, "/") && strings.HasPrefix(p.ImportPath, pre)) {
+				out = append(out, p)
+				break
+			}
+		}
+	}
+	if out == nil {
+		out = []*Package{}
+	}
+	return out
+}

@@ -1,0 +1,53 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"powerchoice/internal/analysis"
+	"powerchoice/internal/analysis/analysistest"
+)
+
+// Each analyzer is proven against a fixture package that contains both
+// violations (matched against // want expectations, so the analyzer fails
+// when it must) and idiomatic clean code (so it stays quiet when it must).
+
+func TestRngTag(t *testing.T) {
+	analysistest.Run(t, analysis.RngTag, "rngtag/a")
+}
+
+func TestHotPath(t *testing.T) {
+	analysistest.Run(t, analysis.HotPath, "hotpath/a")
+}
+
+func TestLockScope(t *testing.T) {
+	analysistest.Run(t, analysis.LockScope, "lockscope/a")
+}
+
+func TestCacheLine(t *testing.T) {
+	analysistest.Run(t, analysis.CacheLine, "cacheline/a")
+}
+
+func TestDetRand(t *testing.T) {
+	analysistest.Run(t, analysis.DetRand, "detrand/a")
+}
+
+// Directive validation runs for every analyzer; the fixture proves a typoed
+// verb or an allow naming an unknown analyzer cannot silently disable a
+// check.
+func TestDirectiveValidation(t *testing.T) {
+	analysistest.Run(t, analysis.HotPath, "directives/a")
+}
+
+// TestPowervetTreeClean pins the repository itself finding-free: the same
+// gate CI applies via cmd/powervet, enforced from inside the test suite so
+// a plain `go test ./...` catches regressions too.
+func TestPowervetTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short runs")
+	}
+	diags, err := analysis.RunTree("../..", nil)
+	if err != nil {
+		t.Fatalf("RunTree: %v", err)
+	}
+	analysistest.MustBeClean(t, diags, "powervet over the repository tree")
+}

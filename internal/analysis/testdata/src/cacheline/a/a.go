@@ -1,0 +1,45 @@
+// Package a exercises the cacheline analyzer: exact-size structs pass,
+// wrong sizes and non-multiple-of-64 targets are reported, and generic
+// types are checked at representative instantiations.
+package a
+
+//powervet:cacheline=128
+type good struct {
+	a [16]uint64
+}
+
+//powervet:cacheline=64
+type padded struct {
+	n int64
+	_ [56]byte
+}
+
+//powervet:cacheline=128
+type short struct { // want "short is 64 bytes"
+	a [8]uint64
+}
+
+//powervet:cacheline=100
+type badTarget struct { // want "size must be a positive multiple of 64"
+	a [100]byte
+}
+
+// genBad is 64 bytes only for 8-byte payloads: the string and [3]uint64
+// instantiations overflow the target.
+//
+//powervet:cacheline=64
+type genBad[V any] struct { // want "genBad\\[string\\] is 72 bytes" "genBad\\[\\[3\\]uint64\\] is 80 bytes"
+	v V
+	_ [56]byte
+}
+
+// genGood keeps V behind a slice, so its size is the same for every
+// instantiation — the shape a padded generic type must take to satisfy a
+// cacheline target at all.
+//
+//powervet:cacheline=128
+type genGood[V any] struct {
+	items []V
+	n     int64
+	_     [96]byte
+}

@@ -1,0 +1,42 @@
+// Package a exercises the detrand analyzer: wall-clock reads and map
+// iteration are nondeterminism leaks; logical time and slice iteration are
+// fine.
+package a
+
+import "time"
+
+func clock() time.Time {
+	return time.Now() // want "time.Now in a deterministic model package"
+}
+
+func since(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "time.Since in a deterministic model package"
+}
+
+func sumMap(m map[int]int) int {
+	total := 0
+	for _, v := range m { // want "map iteration in a deterministic model package"
+		total += v
+	}
+	return total
+}
+
+// Logical time and ordered iteration stay quiet.
+
+func logical(steps int) []int {
+	out := make([]int, 0, steps)
+	for t := 0; t < steps; t++ {
+		out = append(out, t)
+	}
+	return out
+}
+
+func sumSlice(xs []int) int {
+	total := 0
+	for _, v := range xs {
+		total += v
+	}
+	return total
+}
+
+func duration(d time.Duration) time.Duration { return d * 2 }

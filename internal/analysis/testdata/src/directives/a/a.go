@@ -1,0 +1,13 @@
+// Package a exercises directive validation: a typoed verb or an allow
+// naming an unknown analyzer must be reported, so a misspelled annotation
+// cannot silently disable a check.
+package a
+
+//powervet:hotpth // want "unknown powervet directive"
+func typoVerb() {}
+
+//powervet:allow nosuch some reason // want "names unknown analyzer"
+func unknownAllow() {}
+
+//powervet:hotpath
+func properlyAnnotated() {}

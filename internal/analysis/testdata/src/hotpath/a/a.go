@@ -1,0 +1,62 @@
+// Package a exercises the hotpath analyzer: every allocation and dynamic
+// dispatch class it rejects, each legal shape it must accept (static calls,
+// panic arguments, unannotated functions), and the per-line waiver.
+package a
+
+type point struct{ x, y int }
+
+type iface interface{ M() }
+
+type impl struct{}
+
+func (impl) M() {}
+
+func helper() {}
+
+func takesIface(i iface) { _ = i }
+
+func variadicFn(xs ...int) { _ = xs }
+
+//powervet:hotpath
+func allocs(xs []int, s string) {
+	_ = make([]int, 4)    // want "make allocates"
+	_ = new(int)          // want "new allocates"
+	xs = append(xs, 1)    // want "append may grow and allocate"
+	_ = []int{1, 2}       // want "slice literal allocates"
+	_ = map[int]int{1: 2} // want "map literal allocates"
+	_ = &point{1, 2}      // want "address of composite literal"
+	_ = s + "x"           // want "string concatenation allocates"
+	_ = []byte(s)         // want "conversion copies and allocates"
+	_ = xs
+}
+
+//powervet:hotpath
+func dispatch(i iface, f func(), im impl) {
+	defer helper()   // want "defer has per-call cost"
+	go helper()      // want "go statement allocates"
+	i.M()            // want "interface method call"
+	f()              // want "function value dispatches dynamically"
+	_ = iface(im)    // want "conversion to interface type"
+	takesIface(im)   // want "boxes into interface"
+	variadicFn(1, 2) // want "variadic call to variadicFn allocates"
+	helper()         // static call: fine
+	panic("cold")    // panic arguments are exempt: panicking paths are cold
+}
+
+//powervet:hotpath
+func closures() {
+	f := func() {} // want "closure literal allocates"
+	f()            // want "function value dispatches dynamically"
+}
+
+// Unannotated functions may allocate freely.
+func notHot() []int { return make([]int, 4) }
+
+// A waived line stays quiet; the rest of the body is still checked.
+//
+//powervet:hotpath
+func waived(xs []int) []int {
+	//powervet:allow hotpath fixture: amortized append growth
+	xs = append(xs, 1)
+	return xs
+}

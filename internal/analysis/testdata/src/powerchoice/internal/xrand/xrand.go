@@ -1,0 +1,32 @@
+// Package xrand is a fixture stub of the real powerchoice/internal/xrand:
+// just enough surface for the rngtag fixtures to type-check. The rngtag
+// analyzer matches callees by import path, so this stub must live at
+// testdata/src/powerchoice/internal/xrand.
+package xrand
+
+// Source is a stub generator.
+type Source struct{ s uint64 }
+
+// NewSource returns a stub source.
+func NewSource(seed uint64) *Source { return &Source{s: seed} }
+
+// Uint64 steps the stub.
+func (s *Source) Uint64() uint64 { s.s++; return s.s }
+
+// Sharded is a stub indexed family of sources.
+type Sharded struct{ seed uint64 }
+
+// NewSharded returns a stub family rooted at seed.
+func NewSharded(seed uint64) *Sharded { return &Sharded{seed: seed} }
+
+// Source returns the i-th stub member.
+func (sh *Sharded) Source(i int) *Source { return NewSource(sh.seed + uint64(i)) }
+
+// Tag derives a domain-separated seed (stub mix).
+func Tag(seed uint64, tag string) uint64 {
+	h := seed
+	for i := 0; i < len(tag); i++ {
+		h = h*31 + uint64(tag[i])
+	}
+	return h
+}

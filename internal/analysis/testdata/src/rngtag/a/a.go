@@ -1,0 +1,40 @@
+// Package a exercises the rngtag analyzer: untagged NewSharded seeds,
+// forbidden math/rand imports, non-constant tags, and tag collisions —
+// plus the legal shapes (tagged seeds, one named constant reused, waivers)
+// that must stay quiet.
+package a
+
+import (
+	_ "math/rand" // want "import of math/rand is forbidden outside internal/xrand"
+
+	"powerchoice/internal/xrand"
+)
+
+func untagged(seed uint64) *xrand.Sharded {
+	return xrand.NewSharded(seed) // want "seed must be derived via xrand.Tag"
+}
+
+func tagged(seed uint64) *xrand.Sharded {
+	return xrand.NewSharded(xrand.Tag(seed, "a.tagged"))
+}
+
+func nonConst(seed uint64, tag string) uint64 {
+	return xrand.Tag(seed, tag) // want "tag must be a string constant"
+}
+
+// Two direct literals with the same text are two independent sources: the
+// streams they derive collide.
+func dup1(seed uint64) uint64 { return xrand.Tag(seed, "a.dup") } // want "shared by 2 independent sources"
+func dup2(seed uint64) uint64 { return xrand.Tag(seed, "a.dup") } // want "shared by 2 independent sources"
+
+// One named constant reused at several sites is ONE source: that is how a
+// regression test deliberately reproduces a harness's stream family.
+const familyTag = "a.family"
+
+func fam1(seed uint64) uint64 { return xrand.Tag(seed, familyTag) }
+func fam2(seed uint64) uint64 { return xrand.Tag(seed, familyTag) }
+
+// A waived untagged call stays quiet.
+//
+//powervet:allow rngtag fixture: deliberately reproduces a raw family
+func waived(seed uint64) *xrand.Sharded { return xrand.NewSharded(seed) }

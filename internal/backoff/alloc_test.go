@@ -1,0 +1,17 @@
+package backoff
+
+import "testing"
+
+// TestSpinnerAllocationFree: Spin and Reset are called on every contended
+// lock acquisition (//powervet:hotpath); neither may touch the heap.
+func TestSpinnerAllocationFree(t *testing.T) {
+	var s Spinner
+	if avg := testing.AllocsPerRun(200, func() {
+		for i := 0; i < 8; i++ {
+			s.Spin()
+		}
+		s.Reset()
+	}); avg != 0 {
+		t.Errorf("Spin/Reset allocate %.2f objects per op, want 0", avg)
+	}
+}

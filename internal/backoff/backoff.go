@@ -32,6 +32,8 @@ type Spinner struct {
 
 // Spin records one failure and backs off: exponentially longer busy-waits
 // for the first few failures, then a scheduler yield per failure.
+//
+//powervet:hotpath
 func (s *Spinner) Spin() {
 	s.fails++
 	if s.fails <= yieldAfter {
@@ -47,6 +49,8 @@ func (s *Spinner) Spin() {
 
 // Reset forgets past failures, returning the spinner to the cheap busy-wait
 // phase. Call it after the contended resource was successfully acquired.
+//
+//powervet:hotpath
 func (s *Spinner) Reset() { s.fails = 0 }
 
 // pause busy-waits for roughly n cheap iterations. Go has no portable

@@ -90,6 +90,7 @@ func TestThroughputCountsOnlySuccessfulOps(t *testing.T) {
 // keys were bit-identical to handle w's internal pick/coin stream.
 func TestThroughputSeedDomainSeparated(t *testing.T) {
 	const seed = 42
+	//powervet:allow rngtag this test deliberately reproduces the queue's raw (untagged) family to assert the harness family differs from it
 	queueFamily := xrand.NewSharded(seed)
 	harnessFamily := xrand.NewSharded(xrand.Tag(seed, throughputSeedTag))
 	// Handle indices start at 1; sweep past any realistic worker count and

@@ -8,8 +8,10 @@ package core
 // an interface box) shows up as a fractional alloc/op.
 
 import (
+	"strings"
 	"testing"
 
+	"powerchoice/internal/analysis"
 	"powerchoice/internal/xrand"
 )
 
@@ -41,6 +43,46 @@ func assertZeroAllocs(t *testing.T, name string, fn func()) {
 	t.Helper()
 	if avg := testing.AllocsPerRun(200, fn); avg != 0 {
 		t.Errorf("%s allocates %.2f objects per op in steady state, want 0", name, avg)
+	}
+}
+
+// allocExercised lists the exported Handle operations the tests in this
+// file drive under AllocsPerRun. TestAllocTestsCoverAnnotatedHandleOps
+// derives the required list from the //powervet:hotpath annotations, so
+// annotating a new Handle operation fails the guard until an alloc test
+// exercises it here — and a stale entry fails it the other way.
+var allocExercised = map[string]bool{
+	"Insert":            true,
+	"DeleteMin":         true,
+	"InsertBatch":       true,
+	"DeleteMinBatch":    true,
+	"DeleteMinBuffered": true,
+}
+
+func TestAllocTestsCoverAnnotatedHandleOps(t *testing.T) {
+	ann, err := analysis.ScanAnnotations("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const prefix = "powerchoice/internal/core.Handle."
+	annotated := map[string]bool{}
+	for _, h := range ann.HotPath {
+		if op, ok := strings.CutPrefix(h.Key, prefix); ok {
+			annotated[op] = true
+		}
+	}
+	if len(annotated) == 0 {
+		t.Fatal("no //powervet:hotpath annotations on Handle operations; the scan or the annotations are gone")
+	}
+	for op := range annotated {
+		if !allocExercised[op] {
+			t.Errorf("Handle.%s is //powervet:hotpath but no alloc test here exercises it — add one and list it in allocExercised", op)
+		}
+	}
+	for op := range allocExercised {
+		if !annotated[op] {
+			t.Errorf("allocExercised lists Handle.%s, which is not //powervet:hotpath (stale entry?)", op)
+		}
 	}
 }
 

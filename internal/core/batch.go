@@ -35,6 +35,8 @@ package core
 // whole batch lands on one queue: rank-wise this is equivalent to an insert
 // streak with stickiness len(keys). A batch counts as one operation against
 // a sticky streak.
+//
+//powervet:hotpath
 func (h *Handle[V]) InsertBatch(keys []uint64, vals []V) {
 	if len(keys) != len(vals) {
 		panic("core: InsertBatch keys/vals length mismatch")
@@ -67,6 +69,8 @@ func (h *Handle[V]) InsertBatch(keys []uint64, vals []V) {
 //
 // A return of 0 means a full sweep of the cached tops found every queue
 // empty (relaxed emptiness, exactly like DeleteMin's ok=false).
+//
+//powervet:hotpath
 func (h *Handle[V]) DeleteMinBatch(keys []uint64, vals []V, k int) int {
 	if k <= 0 || k > len(keys) {
 		k = len(keys)
@@ -123,6 +127,8 @@ func (h *Handle[V]) DeleteMinBatch(keys []uint64, vals []V, k int) int {
 // shared queues, so no already-removed element can be stranded — though
 // buffered elements still jump ahead of any lower keys inserted since their
 // batch was taken (the documented batching slack).
+//
+//powervet:hotpath
 func (h *Handle[V]) DeleteMinBuffered(k int) (uint64, V, bool) {
 	if h.popPos < h.popLen {
 		i := h.popPos
@@ -134,7 +140,9 @@ func (h *Handle[V]) DeleteMinBuffered(k int) (uint64, V, bool) {
 		k = 1
 	}
 	if cap(h.popKeys) < k {
+		//powervet:allow hotpath the pop buffer grows to its working size once per handle; steady state is allocation-free (pinned by the AllocsPerRun tests)
 		h.popKeys = make([]uint64, k)
+		//powervet:allow hotpath one-time buffer growth, see above
 		h.popVals = make([]V, k)
 	}
 	n := h.DeleteMinBatch(h.popKeys[:k], h.popVals[:k], k)

@@ -74,6 +74,8 @@ type MultiQueue[V any] struct {
 // version of this struct once left every element straddling lines with its
 // neighbours despite this comment claiming otherwise;
 // TestLockedQueuePaddedToCacheLinePair pins the layout.
+//
+//powervet:cacheline=128
 type lockedQueue[V any] struct {
 	lock  spinLock
 	top   atomicUint64 // cached minimum key, emptyTop when empty
@@ -147,6 +149,7 @@ func New[V any](opts ...Option) (*MultiQueue[V], error) {
 			QueuesPinned:  cfg.queuesPinned,
 			ChoicesPinned: cfg.choicesPinned,
 		},
+		//powervet:allow rngtag the MultiQueue is the designated owner of the raw root family at Config.Seed; harnesses must Tag away from it (tagging here would silently reseed every pinned stream)
 		sharded: xrand.NewSharded(cfg.seed),
 	}
 	for i := range mq.queues {
@@ -222,6 +225,8 @@ func (q *lockedQueue[V]) refreshTop() {
 
 // syncDary is refreshTop for the devirtualized heap: it reads the new top
 // key without copying the value and without any interface call.
+//
+//powervet:hotpath
 func (q *lockedQueue[V]) syncDary() {
 	if k, ok := q.dary.MinKey(); ok {
 		q.top.Store(k)
@@ -236,10 +241,13 @@ func (q *lockedQueue[V]) syncDary() {
 // insert does no PeekMin at all (the pre-devirtualization code re-derived
 // the top from the heap after every Push). top and count are written only
 // under q.lock, so plain load+store pairs replace atomic RMWs here.
+//
+//powervet:hotpath
 func (q *lockedQueue[V]) push(key uint64, value V) {
 	if q.heap == nil {
 		q.dary.Push(key, value)
 	} else {
+		//powervet:allow hotpath non-default heap kinds dispatch through the Queue interface by design; the default dary path above is the devirtualized hot path
 		q.heap.Push(key, value)
 	}
 	if key < q.top.Load() {
@@ -251,6 +259,8 @@ func (q *lockedQueue[V]) push(key uint64, value V) {
 // pushBatch inserts all keys under the held lock with a single cached-top
 // update at the end. Keys equal to the empty sentinel are clamped like
 // Insert's. keys and vals must have equal length.
+//
+//powervet:hotpath
 func (q *lockedQueue[V]) pushBatch(keys []uint64, vals []V) {
 	minKey := uint64(emptyTop)
 	if q.heap == nil {
@@ -268,6 +278,7 @@ func (q *lockedQueue[V]) pushBatch(keys []uint64, vals []V) {
 			if k == emptyTop {
 				k = emptyTop - 1
 			}
+			//powervet:allow hotpath non-default heap kinds dispatch through the Queue interface by design
 			q.heap.Push(k, vals[i])
 			if k < minKey {
 				minKey = k
@@ -286,6 +297,8 @@ func (q *lockedQueue[V]) pushBatch(keys []uint64, vals []V) {
 // but the pre-selector code repaired it here too (via a failed PopMin's
 // refresh), and anyNonEmpty must never be kept spinning by a stale
 // non-empty top on an empty queue.
+//
+//powervet:hotpath
 func (q *lockedQueue[V]) emptyUnderLock() {
 	if q.top.Load() != emptyTop {
 		q.top.Store(emptyTop)
@@ -295,12 +308,15 @@ func (q *lockedQueue[V]) emptyUnderLock() {
 // popMin removes the minimum under the held lock and refreshes the cached
 // top/count, including after a failed pop (a failed pop means the cached top
 // was stale; the refresh repairs it to emptyTop).
+//
+//powervet:hotpath
 func (q *lockedQueue[V]) popMin() (pqueue.Item[V], bool) {
 	if q.heap == nil {
 		it, ok := q.dary.PopMin()
 		q.syncDary()
 		return it, ok
 	}
+	//powervet:allow hotpath non-default heap kinds dispatch through the Queue interface by design
 	it, ok := q.heap.PopMin()
 	q.refreshTop()
 	return it, ok
@@ -309,6 +325,8 @@ func (q *lockedQueue[V]) popMin() (pqueue.Item[V], bool) {
 // popBatch removes up to k elements under the held lock into keys/vals with
 // a single cached-top refresh at the end, returning the number removed.
 // Elements land in ascending key order (they are successive heap minima).
+//
+//powervet:hotpath
 func (q *lockedQueue[V]) popBatch(keys []uint64, vals []V, k int) int {
 	n := 0
 	if q.heap == nil {
@@ -324,6 +342,7 @@ func (q *lockedQueue[V]) popBatch(keys []uint64, vals []V, k int) int {
 		return n
 	}
 	for n < k {
+		//powervet:allow hotpath non-default heap kinds dispatch through the Queue interface by design
 		it, ok := q.heap.PopMin()
 		if !ok {
 			break

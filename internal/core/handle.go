@@ -68,6 +68,8 @@ func (h *Handle[V]) Stats() HandleStats {
 
 // Insert adds an element. Keys equal to the maximum uint64 are clamped down
 // by one (that value is the internal empty sentinel).
+//
+//powervet:hotpath
 func (h *Handle[V]) Insert(key uint64, value V) {
 	if key == emptyTop {
 		key = emptyTop - 1
@@ -97,6 +99,8 @@ func (h *Handle[V]) Insert(key uint64, value V) {
 // skipping them here would lose them for good (they used to be silently
 // stranded when a caller switched back to unbuffered pops —
 // TestUnbufferedPopsDrainHandleBuffer).
+//
+//powervet:hotpath
 func (h *Handle[V]) DeleteMin() (uint64, V, bool) {
 	if h.popPos < h.popLen {
 		// Deliberately no h.deletes++: the element was already counted when
@@ -130,6 +134,8 @@ func (h *Handle[V]) DeleteMin() (uint64, V, bool) {
 }
 
 // anyNonEmpty sweeps the cached tops for a non-empty queue.
+//
+//powervet:hotpath
 func (mq *MultiQueue[V]) anyNonEmpty() bool {
 	for i := range mq.queues {
 		if mq.queues[i].top.Load() != emptyTop {

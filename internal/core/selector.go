@@ -62,6 +62,8 @@ func (s *selector[V]) init(mq *MultiQueue[V], id int) {
 // handle's home shard. Unsharded structures (and a zero bias) never touch
 // the generator, so their draw sequences are bit-identical to the
 // pre-sharding code under a fixed seed.
+//
+//powervet:hotpath
 func (s *selector[V]) local() bool {
 	mq := s.mq
 	if mq.shards <= 1 || mq.localBias <= 0 {
@@ -72,6 +74,8 @@ func (s *selector[V]) local() bool {
 
 // sampleInsertQueue picks the uniformly random queue an insert-side
 // operation lands on, within the scope the locality coin chose.
+//
+//powervet:hotpath
 func (s *selector[V]) sampleInsertQueue() *lockedQueue[V] {
 	if s.local() {
 		return &s.mq.queues[s.homeLo+s.rng.Intn(s.homeN)]
@@ -85,6 +89,8 @@ func (s *selector[V]) sampleInsertQueue() *lockedQueue[V] {
 // falls back to one global draw: without the fallback a handle with bias
 // p = 1 would spin forever on a drained home shard while other shards still
 // held elements.
+//
+//powervet:hotpath
 func (s *selector[V]) sampleDeleteQueue() *lockedQueue[V] {
 	if s.local() {
 		if q := s.sampleScoped(s.homeLo, s.homeN); q != nil {
@@ -100,6 +106,8 @@ func (s *selector[V]) sampleDeleteQueue() *lockedQueue[V] {
 // cached top, or nil when every sampled candidate is empty. Shard clamping
 // (buildOptions) guarantees n ≥ choices for every scope, so the distinct
 // draws below never degenerate.
+//
+//powervet:hotpath
 func (s *selector[V]) sampleScoped(lo, n int) *lockedQueue[V] {
 	mq := s.mq
 	useChoice := mq.choices >= 2 && (mq.beta >= 1 || s.rng.Float64() < mq.beta)
@@ -141,6 +149,9 @@ func (s *selector[V]) sampleScoped(lo, n int) *lockedQueue[V] {
 // accounting are shared by Insert and InsertBatch: reuse the last insertion
 // queue while the streak lasts and its lock is free; any obstacle breaks the
 // streak and counts a lockFail.
+//
+//powervet:hotpath
+//powervet:locks result.lock
 func (s *selector[V]) lockForInsert() *lockedQueue[V] {
 	if s.insLeft > 0 && s.stickyIns != nil {
 		if q := s.stickyIns; q.lock.TryLock() {
@@ -177,6 +188,9 @@ func (s *selector[V]) lockForInsert() *lockedQueue[V] {
 // lockFail; a queue drained behind a stale cached top (or a remembered
 // sticky queue whose cached top already reads empty) is an emptyScan; any
 // obstacle breaks a sticky streak.
+//
+//powervet:hotpath
+//powervet:locks result.lock
 func (s *selector[V]) lockNonEmptyQueue() *lockedQueue[V] {
 	if s.delLeft > 0 && s.stickyDel != nil {
 		q := s.stickyDel
@@ -238,6 +252,9 @@ func (s *selector[V]) lockNonEmptyQueue() *lockedQueue[V] {
 // Returns a non-empty queue with the global lock HELD, or nil with the lock
 // released when the structure is empty. No stickiness: atomic mode is the
 // paper's fully random reference process.
+//
+//powervet:hotpath
+//powervet:locks globalMu
 func (s *selector[V]) lockNonEmptyAtomic() *lockedQueue[V] {
 	mq := s.mq
 	var bo backoff.Spinner

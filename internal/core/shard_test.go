@@ -35,12 +35,12 @@ func TestShardCountClampedToChoices(t *testing.T) {
 		want                    int
 	}{
 		{queues: 8, choices: 2, shards: 4, want: 4},
-		{queues: 8, choices: 2, shards: 64, want: 4},  // ⌊8/2⌋
-		{queues: 4, choices: 2, shards: 4, want: 2},   // ⌊4/2⌋
-		{queues: 8, choices: 4, shards: 4, want: 2},   // ⌊8/4⌋
-		{queues: 6, choices: 1, shards: 6, want: 6},   // single-queue shards are fine at d=1
-		{queues: 4, choices: 4, shards: 8, want: 1},   // d = n: only the trivial shard fits
-		{queues: 10, choices: 2, shards: 4, want: 4},  // non-divisible split: min size ⌊10/4⌋ = 2
+		{queues: 8, choices: 2, shards: 64, want: 4}, // ⌊8/2⌋
+		{queues: 4, choices: 2, shards: 4, want: 2},  // ⌊4/2⌋
+		{queues: 8, choices: 4, shards: 4, want: 2},  // ⌊8/4⌋
+		{queues: 6, choices: 1, shards: 6, want: 6},  // single-queue shards are fine at d=1
+		{queues: 4, choices: 4, shards: 8, want: 1},  // d = n: only the trivial shard fits
+		{queues: 10, choices: 2, shards: 4, want: 4}, // non-divisible split: min size ⌊10/4⌋ = 2
 	}
 	for _, c := range cases {
 		mq := mustNew[int](t, WithQueues(c.queues), WithChoices(c.choices),

@@ -20,6 +20,8 @@ type spinLock struct {
 }
 
 // TryLock attempts to acquire the lock without blocking.
+//
+//powervet:hotpath
 func (l *spinLock) TryLock() bool {
 	return l.v.Load() == 0 && l.v.CompareAndSwap(0, 1)
 }
@@ -27,6 +29,8 @@ func (l *spinLock) TryLock() bool {
 // Lock acquires the lock with the shared exponential backoff, which yields
 // to the scheduler after a few failures so spinners cannot starve the lock
 // holder on small GOMAXPROCS.
+//
+//powervet:hotpath
 func (l *spinLock) Lock() {
 	var bo backoff.Spinner
 	for !l.TryLock() {
@@ -35,6 +39,8 @@ func (l *spinLock) Lock() {
 }
 
 // Unlock releases the lock.
+//
+//powervet:hotpath
 func (l *spinLock) Unlock() {
 	l.v.Store(0)
 }

@@ -1,0 +1,28 @@
+package pqueue
+
+import "testing"
+
+// TestDAryHeapOpsAllocationFree: the d-ary heap is the MultiQueue's default
+// per-queue engine; its //powervet:hotpath operations must allocate nothing
+// once the backing slice has reached working capacity (Push's append growth
+// is amortized away by popping before pushing).
+func TestDAryHeapOpsAllocationFree(t *testing.T) {
+	h := NewDAryHeap[int]()
+	for i := 0; i < 1024; i++ {
+		h.Push(uint64(i*2654435761)%1_000_000, i)
+	}
+	next := uint64(7)
+	if avg := testing.AllocsPerRun(200, func() {
+		it, ok := h.PopMin()
+		if !ok {
+			t.Fatal("heap drained unexpectedly")
+		}
+		next = next*2654435761 + it.Key
+		h.Push(next%1_000_000, it.Value)
+		if _, ok := h.MinKey(); !ok || h.Len() == 0 {
+			t.Fatal("heap emptied unexpectedly")
+		}
+	}); avg != 0 {
+		t.Errorf("PopMin/Push allocate %.2f objects per op in steady state, want 0", avg)
+	}
+}

@@ -20,10 +20,15 @@ func NewDAryHeap[V any]() *DAryHeap[V] {
 }
 
 // Len returns the number of stored elements.
+//
+//powervet:hotpath
 func (h *DAryHeap[V]) Len() int { return len(h.items) }
 
 // Push inserts an element.
+//
+//powervet:hotpath
 func (h *DAryHeap[V]) Push(key uint64, value V) {
+	//powervet:allow hotpath append growth is amortized O(1) and reaches steady state once the heap hits its working size (pinned by the AllocsPerRun tests)
 	h.items = append(h.items, Item[V]{Key: key, Value: value})
 	h.siftUp(len(h.items) - 1)
 }
@@ -38,6 +43,8 @@ func (h *DAryHeap[V]) PeekMin() (Item[V], bool) {
 
 // MinKey returns the minimum key without copying the value, for cached-top
 // refreshes that only need the key.
+//
+//powervet:hotpath
 func (h *DAryHeap[V]) MinKey() (uint64, bool) {
 	if len(h.items) == 0 {
 		return 0, false
@@ -46,6 +53,8 @@ func (h *DAryHeap[V]) MinKey() (uint64, bool) {
 }
 
 // PopMin removes and returns the minimum element.
+//
+//powervet:hotpath
 func (h *DAryHeap[V]) PopMin() (Item[V], bool) {
 	if len(h.items) == 0 {
 		return Item[V]{}, false
@@ -62,6 +71,7 @@ func (h *DAryHeap[V]) PopMin() (Item[V], bool) {
 	return top, true
 }
 
+//powervet:hotpath
 func (h *DAryHeap[V]) siftUp(i int) {
 	it := h.items[i]
 	for i > 0 {
@@ -75,6 +85,7 @@ func (h *DAryHeap[V]) siftUp(i int) {
 	h.items[i] = it
 }
 
+//powervet:hotpath
 func (h *DAryHeap[V]) siftDown(i int) {
 	n := len(h.items)
 	it := h.items[i]

@@ -1,0 +1,39 @@
+package sched_test
+
+import (
+	"testing"
+
+	"powerchoice/internal/pqadapt"
+	"powerchoice/internal/sched"
+)
+
+// TestPopBufferPopAllocationFree: PopBuffer.Pop is //powervet:hotpath — both
+// its buffered fast path and its k-element refill must allocate nothing in
+// steady state (the buffer slices are sized once at construction). The
+// MultiQueue backend is itself allocation-free, so any fractional alloc/op
+// here belongs to the buffering layer.
+func TestPopBufferPopAllocationFree(t *testing.T) {
+	q, err := pqadapt.NewSpec(pqadapt.Spec{Impl: pqadapt.ImplMultiQueue, Seed: 91, Queues: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4096; i++ {
+		q.Insert(uint64(i*2654435761)%1_000_000, int32(i))
+	}
+	pb := sched.NewPopBuffer[int32](q, 8)
+	// Warm one refill so the first measured Pop starts mid-buffer.
+	if _, _, ok := pb.Pop(); !ok {
+		t.Fatal("warm-up pop failed")
+	}
+	next := uint64(3)
+	if avg := testing.AllocsPerRun(200, func() {
+		key, val, ok := pb.Pop()
+		if !ok {
+			t.Fatal("pop drained unexpectedly")
+		}
+		next = next*2654435761 + key
+		q.Insert(next%1_000_000, val)
+	}); avg != 0 {
+		t.Errorf("PopBuffer.Pop allocates %.2f objects per op in steady state, want 0", avg)
+	}
+}

@@ -322,6 +322,8 @@ func NewPopBuffer[V any](q Queue[V], k int) *PopBuffer[V] {
 // Pop returns the next element, refilling the buffer from the shared
 // structure when it is empty. ok=false is the underlying queue's relaxed
 // emptiness verdict (and implies the local buffer is empty too).
+//
+//powervet:hotpath
 func (p *PopBuffer[V]) Pop() (uint64, V, bool) {
 	if p.pos < p.n {
 		i := p.pos
@@ -329,6 +331,7 @@ func (p *PopBuffer[V]) Pop() (uint64, V, bool) {
 		p.served++
 		return p.keys[i], p.vals[i], true
 	}
+	//powervet:allow hotpath Batched is the executor's abstraction boundary; one interface dispatch per k-element refill is the amortized design
 	n := p.bq.DeleteMinBatch(p.keys, p.vals, len(p.keys))
 	if n == 0 {
 		var zero V

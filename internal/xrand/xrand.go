@@ -55,6 +55,8 @@ func (s *Source) Seed(seed uint64) {
 func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
 
 // Uint64 returns the next 64 uniformly random bits.
+//
+//powervet:hotpath
 func (s *Source) Uint64() uint64 {
 	result := rotl(s.s0+s.s3, 23) + s.s0
 	t := s.s1 << 17
@@ -68,12 +70,16 @@ func (s *Source) Uint64() uint64 {
 }
 
 // Float64 returns a uniform value in [0, 1) with 53 random bits.
+//
+//powervet:hotpath
 func (s *Source) Float64() float64 {
 	return float64(s.Uint64()>>11) / (1 << 53)
 }
 
 // ExpFloat64 returns an exponentially distributed value with mean 1 (rate 1),
 // via inversion. Scale by the desired mean: mean * ExpFloat64().
+//
+//powervet:hotpath
 func (s *Source) ExpFloat64() float64 {
 	// 1-Float64() is in (0, 1], so the log is finite.
 	return -math.Log(1 - s.Float64())
@@ -81,6 +87,8 @@ func (s *Source) ExpFloat64() float64 {
 
 // Intn returns a uniform integer in [0, n). It panics if n <= 0.
 // It uses Lemire's nearly-divisionless bounded reduction.
+//
+//powervet:hotpath
 func (s *Source) Intn(n int) int {
 	if n <= 0 {
 		panic("xrand: Intn with non-positive bound")
@@ -110,6 +118,8 @@ func mul64(x, y uint64) (hi, lo uint64) {
 
 // TwoDistinct returns two distinct uniform indices in [0, n).
 // It panics if n < 2.
+//
+//powervet:hotpath
 func (s *Source) TwoDistinct(n int) (int, int) {
 	if n < 2 {
 		panic("xrand: TwoDistinct needs n >= 2")
@@ -126,6 +136,8 @@ func (s *Source) TwoDistinct(n int) (int, int) {
 // for the d-choice generalisation of the removal rule. It panics if
 // len(dst) > n. Sampling is by rejection, which is near-optimal for the
 // small d used in choice processes.
+//
+//powervet:hotpath
 func (s *Source) KDistinct(dst []int, n int) {
 	k := len(dst)
 	if k > n {
@@ -144,6 +156,8 @@ func (s *Source) KDistinct(dst []int, n int) {
 }
 
 // Bernoulli returns true with probability p.
+//
+//powervet:hotpath
 func (s *Source) Bernoulli(p float64) bool {
 	switch {
 	case p <= 0:
