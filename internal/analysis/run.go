@@ -18,7 +18,9 @@ import (
 //   - detrand runs on the deterministic model packages, whose outputs must
 //     be a pure function of their seed: the sequential processes
 //     (internal/seqproc), the balls-into-bins models (internal/ballsbins),
-//     and the sequential heaps (internal/pqueue).
+//     the sequential heaps (internal/pqueue), and the workload compiler
+//     (internal/workload) — a trace's content hash is a replay contract,
+//     so any wall-clock read or map iteration there breaks record/replay.
 //   - hotpath and cacheline run everywhere; they are annotation-driven and
 //     cost nothing on unannotated packages.
 func appliesTo(a *Analyzer, p *Package) bool {
@@ -32,7 +34,7 @@ func appliesTo(a *Analyzer, p *Package) bool {
 	case "lockscope":
 		return sub("core")
 	case "detrand":
-		return sub("seqproc") || sub("ballsbins") || sub("pqueue")
+		return sub("seqproc") || sub("ballsbins") || sub("pqueue") || sub("workload")
 	default:
 		return true
 	}

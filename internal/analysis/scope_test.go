@@ -1,0 +1,44 @@
+package analysis
+
+import "testing"
+
+// TestAppliesToPolicy pins the default scoping policy: detrand must cover
+// every deterministic model package — including internal/workload, whose
+// trace hashes are replay contracts — and must not leak onto concurrent
+// packages where map iteration and wall-clock reads are legitimate.
+func TestAppliesToPolicy(t *testing.T) {
+	pkg := func(path string) *Package { return &Package{ImportPath: path} }
+	cases := []struct {
+		analyzer string
+		path     string
+		want     bool
+	}{
+		{"detrand", "powerchoice/internal/seqproc", true},
+		{"detrand", "powerchoice/internal/ballsbins", true},
+		{"detrand", "powerchoice/internal/pqueue", true},
+		{"detrand", "powerchoice/internal/workload", true},
+		{"detrand", "powerchoice/internal/core", false},
+		{"detrand", "powerchoice/internal/sched", false},
+		{"detrand", "powerchoice/internal/bench", false},
+		// Prefix matching must not catch sibling packages by name prefix.
+		{"detrand", "powerchoice/internal/workloadx", false},
+		{"rngtag", "powerchoice/internal/workload", true},
+		{"rngtag", "powerchoice/internal/xrand", false},
+		{"lockscope", "powerchoice/internal/core", true},
+		{"lockscope", "powerchoice/internal/workload", false},
+		{"hotpath", "powerchoice/internal/workload", true},
+	}
+	suite := map[string]*Analyzer{}
+	for _, a := range Suite() {
+		suite[a.Name] = a
+	}
+	for _, c := range cases {
+		a, ok := suite[c.analyzer]
+		if !ok {
+			t.Fatalf("analyzer %q not in suite", c.analyzer)
+		}
+		if got := appliesTo(a, pkg(c.path)); got != c.want {
+			t.Errorf("appliesTo(%s, %s) = %v, want %v", c.analyzer, c.path, got, c.want)
+		}
+	}
+}

@@ -31,6 +31,14 @@ func TestDetRand(t *testing.T) {
 	analysistest.Run(t, analysis.DetRand, "detrand/a")
 }
 
+// The workload compiler joined the detrand scope when traces became replay
+// contracts; this fixture proves the analyzer catches the two leaks that
+// would silently change a trace hash between runs — wall-clock stamps and
+// map-ordered record emission.
+func TestDetRandWorkloadFixture(t *testing.T) {
+	analysistest.Run(t, analysis.DetRand, "detrand/workload")
+}
+
 // Directive validation runs for every analyzer; the fixture proves a typoed
 // verb or an allow naming an unknown analyzer cannot silently disable a
 // check.

@@ -1,0 +1,56 @@
+// Package workload exercises the detrand analyzer on workload-compiler
+// shapes: a trace is a replay contract identified by its content hash, so
+// stamping generation time into it or iterating a class map while emitting
+// records silently changes the artifact between runs.
+package workload
+
+import "time"
+
+type record struct {
+	at  int64
+	cls uint8
+}
+
+type trace struct {
+	records []record
+	stamped time.Time
+}
+
+// stamp leaks wall-clock time into the artifact: two otherwise identical
+// generations hash differently.
+func stamp(tr *trace) {
+	tr.stamped = time.Now() // want "time.Now in a deterministic model package"
+}
+
+// emitByClass iterates a map while appending records, so the record order —
+// and therefore the trace hash — varies run to run.
+func emitByClass(tr *trace, classes map[uint8]int64) {
+	for cls, at := range classes { // want "map iteration in a deterministic model package"
+		tr.records = append(tr.records, record{at: at, cls: cls})
+	}
+}
+
+// Clean shapes stay quiet: logical arrival clocks advanced by sampled gaps,
+// and class tables kept as ordered slices.
+
+func pace(gaps []int64) *trace {
+	tr := &trace{}
+	var now int64
+	for i, g := range gaps {
+		now += g
+		tr.records = append(tr.records, record{at: now, cls: uint8(i % 4)})
+	}
+	return tr
+}
+
+func classShares(weights []float64) []float64 {
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	out := make([]float64, len(weights))
+	for i, w := range weights {
+		out[i] = w / total
+	}
+	return out
+}

@@ -1,9 +1,9 @@
 // Package driver implements the powerbench command line: one portable
-// benchmark driver with throughput, rank, sweep, sssp, astar, jobs and
-// serve subcommands, emitting aligned tables, CSV, or machine-readable JSON
-// reports (see bench.Report) from the same measured results. (The legacy
-// mqbench, rankbench and ssspbench wrappers forwarded here until their
-// removal; invoke powerbench directly.)
+// benchmark driver with throughput, rank, sweep, sssp, astar, jobs, serve,
+// record, replay, plan and calibrate subcommands, emitting aligned tables,
+// CSV, or machine-readable JSON reports (see bench.Report) from the same
+// measured results. (The legacy mqbench, rankbench and ssspbench wrappers
+// forwarded here until their removal; invoke powerbench directly.)
 package driver
 
 import (
@@ -35,6 +35,13 @@ Subcommands:
   jobs         priority job-server drain: inversions + per-class latency
   serve        open-system job server: Poisson arrivals at target utilization
                rho, per-class sojourn p50/p99 + queue-length timeseries
+               (-workload runs a declarative spec: bursty/onoff/diurnal
+               arrivals, heavy-tailed service laws)
+  record       compile a workload spec into a replayable trace file
+  replay       re-run a recorded trace through any implementation line-up
+  plan         binary-search the worker count meeting a p99-sojourn SLO
+               at a given workload and offered rate
+  calibrate    print the host's spin-unit cost (the rho <-> rate constant)
   help         print this message
 
 Every subcommand accepts -csv (CSV instead of an aligned table), -json
@@ -69,6 +76,14 @@ func Main(args []string, stdout, stderr io.Writer) error {
 		return runJobs(rest, stdout, stderr)
 	case "serve":
 		return runServe(rest, stdout, stderr)
+	case "record":
+		return runRecord(rest, stdout, stderr)
+	case "replay":
+		return runReplay(rest, stdout, stderr)
+	case "plan":
+		return runPlan(rest, stdout, stderr)
+	case "calibrate":
+		return runCalibrate(rest, stdout, stderr)
 	case "help", "-h", "--help":
 		fmt.Fprint(stdout, usageText)
 		return nil

@@ -8,20 +8,26 @@ import (
 
 	"powerchoice/internal/bench"
 	"powerchoice/internal/pqadapt"
+	"powerchoice/internal/workload"
 )
 
 // runServe measures the open-system job server: Poisson arrivals at a
-// target utilization ρ (or an explicit -rate) while the line-up serves. The
-// product is per-class sojourn (wait + service) percentiles at fixed load —
-// relaxation read as a latency penalty rather than a drain-time delta. The
-// JSON report carries one summary row per (impl, threads) — rho, offered
-// rate, inversions, mean queue length — plus one sojourn row per class.
+// target utilization ρ (or an explicit -rate) while the line-up serves —
+// or, with -workload, arrivals and services compiled from a declarative
+// workload spec (bursty MMPP, on/off, diurnal pacing; heavy-tailed service
+// laws). The product is per-class sojourn (wait + service) percentiles at
+// fixed load — relaxation read as a latency penalty rather than a
+// drain-time delta. The JSON report carries one summary row per
+// (impl, threads) — rho, offered rate, inversions, mean queue length, and
+// for workload runs the spec name and trace hash — plus one sojourn row per
+// class (with the class's offered rate for workload runs).
 func runServe(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("powerbench serve", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	nJobs := fs.Int("jobs", 500_000, "arrivals injected per configuration")
 	classes := fs.Int("classes", 8, "priority classes (0 = most urgent)")
 	service := fs.Int("service", 256, "mean service time in spin units")
+	workloadFlag := fs.String("workload", "", "workload spec: preset name or JSON file (replaces -classes/-service with the spec's classes and service laws)")
 	rate := fs.Float64("rate", 0, "arrival rate λ in jobs/second (0 = derive from -rho)")
 	rho := fs.Float64("rho", 0.8, "target utilization λ·E[S]/threads (ignored when -rate is set)")
 	producers := fs.Int("producers", 1, "arrival goroutines (their Poisson streams superpose to λ)")
@@ -43,8 +49,17 @@ func runServe(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(stderr, "open system: %d arrivals, %d classes, mean service %d spin units\n",
-		*nJobs, *classes, *service)
+	var wspec *workload.Spec
+	if *workloadFlag != "" {
+		if wspec, err = workload.LoadSpec(*workloadFlag); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "open system: %d arrivals, workload %q (%s arrivals, %d classes)\n",
+			*nJobs, wspec.Name, wspec.Arrival.Process, len(wspec.Classes))
+	} else {
+		fmt.Fprintf(stderr, "open system: %d arrivals, %d classes, mean service %d spin units\n",
+			*nJobs, *classes, *service)
+	}
 
 	tb := bench.NewTable("impl", "threads", "rho", "class", "jobs",
 		"sojourn_p50_ms", "sojourn_p99_ms", "qlen_mean")
@@ -59,6 +74,7 @@ func runServe(args []string, stdout, stderr io.Writer) error {
 				Jobs:        *nJobs,
 				Classes:     *classes,
 				ServiceMean: *service,
+				Workload:    wspec,
 				Rate:        *rate,
 				Rho:         *rho,
 				Producers:   *producers,
@@ -78,6 +94,7 @@ func runServe(args []string, stdout, stderr io.Writer) error {
 				Jobs: res.Injected, Inversions: res.Inversions,
 				InvWaiting: res.InvWaiting, BufferedPops: res.BufferedPops,
 				Rho: res.Rho, Rate: res.OfferedRate, QLenMean: res.QLenMean,
+				Workload: res.Workload, TraceHash: res.TraceHash,
 			}
 			sum.SetTopology(res.Topology)
 			rep.Add(sum)
@@ -88,6 +105,10 @@ func runServe(args []string, stdout, stderr io.Writer) error {
 				row := bench.Row{
 					Impl: impl, Threads: th, Class: &cs.Class, Jobs: cs.Jobs,
 					Rho: res.Rho, SojournP50Ms: cs.P50Ms, SojournP99Ms: cs.P99Ms,
+					Workload: res.Workload,
+				}
+				if res.ClassRates != nil {
+					row.ClassRate = res.ClassRates[cs.Class]
 				}
 				row.SetTopology(res.Topology)
 				rep.Add(row)

@@ -112,6 +112,31 @@ type Row struct {
 	SojournP50Ms float64 `json:"sojourn_p50_ms,omitempty"`
 	SojournP99Ms float64 `json:"sojourn_p99_ms,omitempty"`
 	QLenMean     float64 `json:"qlen_mean,omitempty"`
+
+	// Workload provenance (powerbench serve -workload / record / replay).
+	// Workload names the spec ("bursty", a file's spec name, …), TraceHash
+	// the sha256 content identity of the generated or replayed trace —
+	// record→replay determinism compares it. ClassRate is a per-class row's
+	// offered arrival rate in jobs/second (total rate × the class's weight
+	// share). All absent on pre-workload Poisson rows, which therefore stay
+	// byte-comparable with earlier BENCH_*.json files (EXPERIMENTS.md).
+	Workload  string  `json:"workload,omitempty"`
+	TraceHash string  `json:"trace_hash,omitempty"`
+	ClassRate float64 `json:"class_rate,omitempty"`
+
+	// Capacity-planning metrics (powerbench plan). SLOMs is the p99-sojourn
+	// target in milliseconds, PlanWorkers the smallest worker count meeting
+	// it, PlanFeasible whether any probed count did (a pointer so an
+	// infeasible `false` survives serialisation). Probe rows carry the usual
+	// serve metrics plus slo_ms.
+	SLOMs        float64 `json:"slo_ms,omitempty"`
+	PlanWorkers  int     `json:"plan_workers,omitempty"`
+	PlanFeasible *bool   `json:"plan_feasible,omitempty"`
+
+	// Calibration metrics (powerbench calibrate): the measured wall-time
+	// cost of one spin unit on this host, the constant behind every ρ↔λ
+	// conversion.
+	SpinNsPerUnit float64 `json:"spin_ns_per_unit,omitempty"`
 }
 
 // SetTopology copies a resolved topology into the row.

@@ -16,6 +16,7 @@ var updateGolden = flag.Bool("update", false, "rewrite golden files")
 
 func floatPtr(f float64) *float64 { return &f }
 func intPtr(i int) *int           { return &i }
+func boolPtr(b bool) *bool        { return &b }
 
 // pinnedReport is a fully specified report — host included — so its JSON
 // rendering is byte-identical on every machine.
@@ -98,6 +99,33 @@ func pinnedReport() *Report {
 				Threads: 4, Class: intPtr(0), Jobs: 25_000, Rho: 0.8,
 				SojournP50Ms: 0.375, SojournP99Ms: 4.5,
 			},
+			// A workload-driven serve summary row and one of its per-class
+			// rows: the spec name and trace hash identify exactly what was
+			// offered, class_rate the class's share of the offered λ.
+			{
+				Impl: "multiqueue", Beta: floatPtr(1), Queues: 8, Choices: 2,
+				Threads: 4, Millis: 250.5, Jobs: 50_000, Rho: 0.75,
+				Rate: 200_000, QLenMean: 18.5, Workload: "heavytail",
+				TraceHash: "sha256:0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef",
+			},
+			{
+				Impl: "multiqueue", Beta: floatPtr(1), Queues: 8, Choices: 2,
+				Threads: 4, Class: intPtr(0), Jobs: 37_500, Rho: 0.75,
+				SojournP50Ms: 0.5, SojournP99Ms: 9.125, Workload: "heavytail",
+				ClassRate: 150_000,
+			},
+			// A capacity-planning summary row: the smallest worker count whose
+			// p99 sojourn met the SLO. plan_feasible is a pointer so an
+			// explicit `false` (no probed count sufficed) survives.
+			{
+				Impl: "multiqueue", Workload: "bursty", Rate: 100_000,
+				SLOMs: 25, PlanWorkers: 4, PlanFeasible: boolPtr(true),
+				SojournP99Ms: 18.25,
+			},
+			// A calibration row: the host's measured spin-unit cost.
+			{
+				SpinNsPerUnit: 1.375,
+			},
 		},
 	}
 }
@@ -156,11 +184,32 @@ func TestReportRoundTrip(t *testing.T) {
 	if shardRow.Shards != 2 || shardRow.LocalBias == nil || *shardRow.LocalBias != 0 {
 		t.Errorf("local_bias = 0 did not survive the round trip: %+v", shardRow)
 	}
-	// The class-0 jobs row must keep its class through the trip for the
-	// same reason β = 0 must.
-	classRow := out.Rows[len(out.Rows)-3]
-	if classRow.Class == nil || *classRow.Class != 0 {
-		t.Errorf("class 0 did not survive the round trip: %+v", classRow)
+	// The class-0 rows must keep their class through the trip for the same
+	// reason β = 0 must.
+	var classRows int
+	for _, row := range out.Rows {
+		if row.Class != nil {
+			classRows++
+			if *row.Class != 0 {
+				t.Errorf("class 0 did not survive the round trip: %+v", row)
+			}
+		}
+	}
+	if classRows != 3 {
+		t.Errorf("%d class rows survived the round trip, want 3", classRows)
+	}
+	// An explicit plan_feasible=true must be distinguishable from absent.
+	var planRows int
+	for _, row := range out.Rows {
+		if row.PlanFeasible != nil {
+			planRows++
+			if !*row.PlanFeasible {
+				t.Errorf("plan_feasible flipped in the round trip: %+v", row)
+			}
+		}
+	}
+	if planRows != 1 {
+		t.Errorf("%d plan rows survived the round trip, want 1", planRows)
 	}
 }
 

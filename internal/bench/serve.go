@@ -6,11 +6,14 @@ import (
 
 	"powerchoice/internal/jobs"
 	"powerchoice/internal/pqadapt"
+	"powerchoice/internal/workload"
 )
 
 // ServeSpec configures one open-system job-server measurement (powerbench
 // serve): Poisson arrivals at a target utilization ρ (or an explicit rate)
-// served by Threads workers through the chosen queue implementation.
+// served by Threads workers through the chosen queue implementation — or,
+// with Workload/Trace set, arrivals and services from the declarative
+// workload subsystem.
 type ServeSpec struct {
 	// Impl selects the queue implementation serving as the scheduler.
 	Impl pqadapt.Impl
@@ -26,8 +29,20 @@ type ServeSpec struct {
 	Jobs int
 	// Classes is the number of priority classes (0 = most urgent).
 	Classes int
-	// ServiceMean is the exact mean service time in spin units.
+	// ServiceMean is the exact mean service time in spin units. Ignored when
+	// Workload or Trace is set (the spec's service laws win).
 	ServiceMean int
+	// Workload, when non-nil, generates the job stream from a declarative
+	// spec (arrival shape + per-class service laws) instead of the implicit
+	// Poisson/uniform model: a deterministic trace is compiled at the
+	// resolved rate (explicit Rate, or derived from Rho via the spec's
+	// analytic mean service time) and replayed. Classes and ServiceMean are
+	// ignored; Jobs is the trace length.
+	Workload *workload.Spec
+	// Trace, when non-nil, replays a pre-generated trace verbatim (its
+	// recorded rate and spec win over everything above) — powerbench replay.
+	// Takes precedence over Workload.
+	Trace *workload.Trace
 	// Rate is the arrival rate λ in jobs/second; 0 derives it from Rho.
 	Rate float64
 	// Rho is the target utilization ρ = λ·E[S]/Threads (used when Rate is
@@ -64,16 +79,64 @@ type ServeResult struct {
 	BufferedPops int64
 	// QLenMean is the mean sampled queue length (pending jobs).
 	QLenMean float64
+	// SojournP50Ms / SojournP99Ms are the pooled (all-class) sojourn
+	// percentiles — the numbers a capacity-planning SLO binds to.
+	SojournP50Ms float64
+	SojournP99Ms float64
 	// PerClass holds per-class sojourn (wait + service) percentiles.
 	PerClass []jobs.ClassStats
+	// Workload and TraceHash identify a workload-driven run: the spec name
+	// and the trace's sha256 content identity. Empty for the implicit
+	// Poisson/uniform model.
+	Workload  string
+	TraceHash string
+	// ClassRates are per-class offered arrival rates (jobs/second, the total
+	// rate split by class weight share); nil for the implicit model, whose
+	// classes are uniform.
+	ClassRates []float64
+	// Trace is the trace the run generated (Workload) or replayed (Trace) —
+	// powerbench record writes it out. Nil for the implicit model.
+	Trace *workload.Trace
+	// SpinNsPerUnit is the calibrated spin-unit cost used for ρ↔λ.
+	SpinNsPerUnit float64
 	// Topology records what the measured queue resolved to.
 	Topology pqadapt.Topology
+}
+
+// ResolveTrace compiles the spec's workload into the trace Serve would run:
+// a loaded Trace verbatim, or a Workload spec generated at the resolved rate
+// (explicit Rate, or derived from Rho through the spec's analytic mean
+// service time and the host's spin calibration). It returns nil for the
+// implicit Poisson/uniform model. powerbench record uses it directly.
+func (spec *ServeSpec) ResolveTrace() (*workload.Trace, error) {
+	if spec.Trace != nil {
+		return spec.Trace, nil
+	}
+	if spec.Workload == nil {
+		return nil, nil
+	}
+	rate := spec.Rate
+	if rate <= 0 {
+		if spec.Rho <= 0 {
+			return nil, fmt.Errorf("bench: workload run needs Rate or Rho")
+		}
+		if spec.Threads < 1 {
+			return nil, fmt.Errorf("bench: threads %d < 1", spec.Threads)
+		}
+		serviceSec := spec.Workload.MeanService() * jobs.SpinNsPerUnit() / 1e9
+		rate = spec.Rho * float64(spec.Threads) / serviceSec
+	}
+	return workload.Generate(spec.Workload, spec.Seed, spec.Jobs, rate)
 }
 
 // Serve runs one open-system job-server measurement.
 func Serve(spec ServeSpec) (ServeResult, error) {
 	if spec.Threads < 1 {
 		return ServeResult{}, fmt.Errorf("bench: threads %d < 1", spec.Threads)
+	}
+	tr, err := spec.ResolveTrace()
+	if err != nil {
+		return ServeResult{}, err
 	}
 	q, err := pqadapt.NewSpec(pqadapt.Spec{
 		Impl: spec.Impl, Queues: spec.Queues,
@@ -87,6 +150,7 @@ func Serve(spec ServeSpec) (ServeResult, error) {
 		Jobs:        spec.Jobs,
 		Classes:     spec.Classes,
 		ServiceMean: spec.ServiceMean,
+		Workload:    tr,
 		Rate:        spec.Rate,
 		Rho:         spec.Rho,
 		Producers:   spec.Producers,
@@ -96,17 +160,35 @@ func Serve(spec ServeSpec) (ServeResult, error) {
 	if err != nil {
 		return ServeResult{}, err
 	}
-	return ServeResult{
-		Elapsed:      res.Elapsed,
-		OfferedRate:  res.OfferedRate,
-		AchievedRate: res.AchievedRate,
-		Rho:          res.Rho,
-		Injected:     res.Injected,
-		Inversions:   res.Inversions,
-		InvWaiting:   res.InvWaiting,
-		BufferedPops: res.Stats.BufferedPops,
-		QLenMean:     res.QLenMean,
-		PerClass:     res.PerClass,
-		Topology:     topology,
-	}, nil
+	out := ServeResult{
+		Elapsed:       res.Elapsed,
+		OfferedRate:   res.OfferedRate,
+		AchievedRate:  res.AchievedRate,
+		Rho:           res.Rho,
+		Injected:      res.Injected,
+		Inversions:    res.Inversions,
+		InvWaiting:    res.InvWaiting,
+		BufferedPops:  res.Stats.BufferedPops,
+		QLenMean:      res.QLenMean,
+		SojournP50Ms:  res.SojournP50Ms,
+		SojournP99Ms:  res.SojournP99Ms,
+		PerClass:      res.PerClass,
+		SpinNsPerUnit: res.SpinNsPerUnit,
+		Topology:      topology,
+	}
+	if tr != nil {
+		out.Workload = tr.Spec.Name
+		out.Trace = tr
+		hash, err := tr.Hash()
+		if err != nil {
+			return ServeResult{}, err
+		}
+		out.TraceHash = hash
+		shares := tr.Spec.ClassShares()
+		out.ClassRates = make([]float64, len(shares))
+		for i, s := range shares {
+			out.ClassRates[i] = res.OfferedRate * s
+		}
+	}
+	return out, nil
 }

@@ -170,7 +170,7 @@ func RunBatch(w *Workload, q sched.Queue[int32], workers, batch int) (Result, er
 
 	start := time.Now()
 	task := func(_ uint64, id int32, _ func(uint64, int32)) bool {
-		serveJob(w, id, classPending, &inversions, &invWaiting)
+		serveJob(int(w.Class[id]), w.Service[id], id, classPending, &inversions, &invWaiting)
 		completedAt[id] = time.Since(start).Nanoseconds()
 		return true
 	}
@@ -191,16 +191,16 @@ func RunBatch(w *Workload, q sched.Queue[int32], workers, batch int) (Result, er
 	}, nil
 }
 
-// serveJob is the serving path the closed- and open-system runs share: mark
-// job id dequeued, count a priority inversion if any strictly
+// serveJob is the serving path every run mode shares — closed, open, and
+// workload-trace replay, whichever source supplied the (class, service)
+// pair: mark job id dequeued, count a priority inversion if any strictly
 // higher-priority job is still pending, and burn the job's service time.
 // The decrement happens before the scan so "pending" measures jobs still
 // waiting in the queue, not jobs another worker is currently serving —
 // otherwise an exact queue with many workers would report inversions for
 // the whole of every higher-priority job's service time. The scan is racy
 // by design (see Result.Inversions).
-func serveJob(w *Workload, id int32, classPending []atomic.Int64, inversions, invWaiting *atomic.Int64) {
-	c := int(w.Class[id])
+func serveJob(c int, service uint32, id int32, classPending []atomic.Int64, inversions, invWaiting *atomic.Int64) {
 	classPending[c].Add(-1)
 	var waiting int64
 	for hc := 0; hc < c; hc++ {
@@ -210,7 +210,7 @@ func serveJob(w *Workload, id int32, classPending []atomic.Int64, inversions, in
 		inversions.Add(1)
 		invWaiting.Add(waiting)
 	}
-	spin(w.Service[id], uint64(id))
+	spin(service, uint64(id))
 }
 
 // collectClassStats turns per-class latency samples (milliseconds) into the

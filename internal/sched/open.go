@@ -22,6 +22,17 @@ import (
 // under test's internal per-handle streams — see xrand.Tag).
 const openSeedTag = "sched.open"
 
+// ArrivalProcess yields one producer's successive interarrival gaps. The
+// executor is agnostic to the process's law: the default is the classic
+// per-producer Poisson split (see OpenConfig.Rate), and callers supply
+// bursty MMPP, diurnal, or trace-replay schedules through
+// OpenConfig.Arrivals (internal/workload implements those; any type with a
+// `Next() time.Duration` method satisfies the interface structurally).
+type ArrivalProcess interface {
+	// Next returns the gap between the previous arrival and the next one.
+	Next() time.Duration
+}
+
 // OpenConfig bundles RunOpen's parameters.
 type OpenConfig struct {
 	// Workers is the consuming goroutine count (minimum 1).
@@ -38,7 +49,21 @@ type OpenConfig struct {
 	// producers. Interarrival times are exponential (Poisson arrivals),
 	// drawn from deterministic per-producer streams. Rate <= 0 injects with
 	// no pacing at all — a stress mode, not an open-system measurement.
+	// Ignored when Arrivals is set.
 	Rate float64
+	// Arrivals, when non-nil, replaces Poisson pacing: it is called once
+	// per producer and the returned process yields that producer's
+	// interarrival gaps. Deterministic workloads (internal/workload traces)
+	// plug in here; they almost always want Strided identities too.
+	Arrivals func(producer int) ArrivalProcess
+	// Strided assigns arrival identities deterministically instead of
+	// through the racy dense counter: producer p injects global arrivals
+	// p, p+Producers, p+2·Producers, … and gen's seq is that global index —
+	// the assignment trace replay needs to be reproducible. When false, seq
+	// is the dense first-come counter (exactly the values 0..Injected-1
+	// occur). Requires Arrivals when Producers > 1: each producer's process
+	// must pace its own stride of the schedule.
+	Strided bool
 	// Jobs is the total number of items to inject, split evenly across
 	// producers; the run terminates when all injected items are served.
 	// Jobs <= 0 injects nothing and returns immediately.
@@ -70,14 +95,15 @@ type OpenStats struct {
 }
 
 // RunOpen runs an open system: cfg.Producers goroutines inject the items
-// gen returns at Poisson-process rate cfg.Rate, while cfg.Workers
-// goroutines drain the queue through task. gen(p, seq) is called at
-// injection time (so the caller can timestamp arrivals); seq is a dense
-// 0-based global injection sequence — unique across producers, with
-// exactly the values 0..Injected-1 occurring — so callers can index
-// pre-generated workloads directly without knowing how the quota is split
-// among producers. p identifies the producer whose pacing stream produced
-// the arrival.
+// gen returns — paced by cfg.Arrivals processes, or by the default Poisson
+// split at rate cfg.Rate — while cfg.Workers goroutines drain the queue
+// through task. gen(p, seq) is called at injection time (so the caller can
+// timestamp arrivals); seq is a 0-based global injection sequence — unique
+// across producers — so callers can index pre-generated workloads directly
+// without knowing how the quota is split among producers. By default seq is
+// dense first-come (exactly the values 0..Injected-1 occur); with
+// cfg.Strided it is the deterministic stride p + i·Producers instead. p
+// identifies the producer whose pacing stream produced the arrival.
 //
 // Unlike the closed-system runners, a failed pop here usually means the
 // system is momentarily empty because the next arrival has not happened
@@ -140,15 +166,11 @@ func RunOpen[V any](q Queue[V], cfg OpenConfig, gen func(producer, seq int) Item
 			if f, ok := view.(Flusher); ok {
 				defer f.Flush()
 			}
-			rng := sh.Source(p)
-			meanGap := float64(0)
-			if cfg.Rate > 0 {
-				meanGap = float64(producers) / cfg.Rate * float64(time.Second)
-			}
+			arrivals := cfg.newArrival(p, producers, sh)
 			var schedule time.Duration
 			for i := int64(0); i < quota; i++ {
-				if meanGap > 0 {
-					schedule += time.Duration(meanGap * rng.ExpFloat64())
+				if arrivals != nil {
+					schedule += arrivals.Next()
 					// An arrival scheduled past the deadline will never be
 					// injected — exit without sleeping toward it, so the
 					// injection window cannot overshoot the deadline by an
@@ -161,7 +183,13 @@ func RunOpen[V any](q Queue[V], cfg OpenConfig, gen func(producer, seq int) Item
 				if cfg.Deadline > 0 && time.Since(start) > cfg.Deadline {
 					return
 				}
-				seq := injected.Add(1) - 1
+				var seq int64
+				if cfg.Strided {
+					seq = int64(p) + i*int64(producers)
+					injected.Add(1)
+				} else {
+					seq = injected.Add(1) - 1
+				}
 				it := gen(p, int(seq))
 				// Order matters: the item must be pending before it is
 				// visible to any worker, or a fast pop could decrement
@@ -223,6 +251,38 @@ func RunOpen[V any](q Queue[V], cfg OpenConfig, gen func(producer, seq int) Item
 		Injected: injected.Load(),
 		QLen:     qlen,
 	}
+}
+
+// newArrival constructs producer p's arrival process: the configured
+// override, or the classic Poisson split — exponential gaps of mean
+// producers/Rate drawn from the producer's tagged stream. The Poisson path
+// preserves the exact pre-ArrivalProcess draw order (same stream, same
+// arithmetic, one ExpFloat64 per arrival), pinned by
+// TestPoissonArrivalDrawOrderPinned: (seed, rate, producers) triples keep
+// producing bit-identical arrival schedules across the refactor, so serve
+// measurements stay comparable. A nil return means unpaced injection.
+func (cfg *OpenConfig) newArrival(p, producers int, sh *xrand.Sharded) ArrivalProcess {
+	if cfg.Arrivals != nil {
+		return cfg.Arrivals(p)
+	}
+	if cfg.Rate <= 0 {
+		return nil
+	}
+	return &poissonProcess{
+		rng:    sh.Source(p),
+		meanNs: float64(producers) / cfg.Rate * float64(time.Second),
+	}
+}
+
+// poissonProcess is the default ArrivalProcess: exponential interarrivals of
+// mean meanNs, one draw per arrival.
+type poissonProcess struct {
+	rng    *xrand.Source
+	meanNs float64
+}
+
+func (pp *poissonProcess) Next() time.Duration {
+	return time.Duration(pp.meanNs * pp.rng.ExpFloat64())
 }
 
 // sleepUntil pauses until target time has elapsed since start. Long waits

@@ -1,0 +1,133 @@
+package sched
+
+// White-box pins for the ArrivalProcess refactor: extracting the pacing
+// interface must not change a single bit of the Poisson path's draw order,
+// or every serve measurement recorded since PR 4 loses its (seed, rate,
+// producers) comparability.
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"powerchoice/internal/xrand"
+)
+
+// TestPoissonArrivalDrawOrderPinned replicates the pre-refactor producer
+// loop draw by draw — meanGap = producers/Rate seconds on stream
+// Tag(seed, "sched.open").Source(p), gap = meanGap·ExpFloat64() — and
+// demands the default ArrivalProcess produce the bit-identical sequence for
+// every producer.
+func TestPoissonArrivalDrawOrderPinned(t *testing.T) {
+	for _, tc := range []struct {
+		seed      uint64
+		rate      float64
+		producers int
+	}{
+		{42, 1e6, 1},
+		{42, 1e6, 3},
+		{7, 12345.678, 2},
+		{0, 3, 4}, // low rate: huge gaps must still match exactly
+	} {
+		cfg := OpenConfig{Rate: tc.rate, Producers: tc.producers, Seed: tc.seed}
+		sh := xrand.NewSharded(xrand.Tag(tc.seed, openSeedTag))
+		for p := 0; p < tc.producers; p++ {
+			ap := cfg.newArrival(p, tc.producers, sh)
+			if ap == nil {
+				t.Fatalf("rate %v produced no arrival process", tc.rate)
+			}
+			// The reference stream: exactly what the inline producer loop
+			// drew before the refactor.
+			ref := xrand.NewSharded(xrand.Tag(tc.seed, openSeedTag)).Source(p)
+			meanGap := float64(tc.producers) / tc.rate * float64(time.Second)
+			for i := 0; i < 1024; i++ {
+				want := time.Duration(meanGap * ref.ExpFloat64())
+				if got := ap.Next(); got != want {
+					t.Fatalf("cfg %+v producer %d draw %d: got %v, want %v",
+						tc, p, i, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestRunOpenUnpacedStillWorks: Rate <= 0 with no Arrivals override keeps
+// the unpaced stress mode — a nil process, no draws, no pacing.
+func TestRunOpenUnpacedStillWorks(t *testing.T) {
+	cfg := OpenConfig{Producers: 2}
+	sh := xrand.NewSharded(xrand.Tag(1, openSeedTag))
+	if ap := cfg.newArrival(0, 2, sh); ap != nil {
+		t.Fatalf("unpaced config built an arrival process: %T", ap)
+	}
+}
+
+// fixedGaps is a test ArrivalProcess: a constant gap per arrival.
+type fixedGaps struct{ gap time.Duration }
+
+func (f fixedGaps) Next() time.Duration { return f.gap }
+
+// lockedQueue is a minimal strict Queue for white-box tests (the black-box
+// tests use pqadapt; this file cannot, staying inside package sched).
+type lockedQueue struct {
+	mu    sync.Mutex
+	items []Item[int32]
+}
+
+func (q *lockedQueue) Insert(key uint64, v int32) {
+	q.mu.Lock()
+	q.items = append(q.items, Item[int32]{Key: key, Value: v})
+	q.mu.Unlock()
+}
+
+func (q *lockedQueue) DeleteMin() (uint64, int32, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.items) == 0 {
+		return 0, 0, false
+	}
+	best := 0
+	for i, it := range q.items {
+		if it.Key < q.items[best].Key {
+			best = i
+		}
+	}
+	it := q.items[best]
+	q.items[best] = q.items[len(q.items)-1]
+	q.items = q.items[:len(q.items)-1]
+	return it.Key, it.Value, true
+}
+
+// TestRunOpenStridedIdentities: with Strided set, producer p must inject
+// exactly the global sequence numbers p, p+P, p+2P, … — each arrival index
+// exactly once, deterministically — and the Arrivals override must replace
+// the Poisson path (no draws from the tagged stream family are needed).
+func TestRunOpenStridedIdentities(t *testing.T) {
+	const jobs = 4000
+	const producers = 3
+	q := &lockedQueue{}
+	var seen [jobs]int32 // producer+1 that injected each seq
+	gen := func(p, seq int) Item[int32] {
+		if seen[seq] != 0 {
+			t.Errorf("seq %d injected twice", seq)
+		}
+		seen[seq] = int32(p) + 1
+		return Item[int32]{Key: uint64(seq), Value: int32(seq)}
+	}
+	task := func(_ uint64, _ int32, _ func(uint64, int32)) bool { return true }
+	st := RunOpen[int32](q, OpenConfig{
+		Workers: 2, Producers: producers, Jobs: jobs, Strided: true,
+		Arrivals: func(p int) ArrivalProcess { return fixedGaps{gap: time.Nanosecond} },
+		Seed:     9,
+	}, gen, task)
+	if st.Injected != jobs || st.Processed != jobs {
+		t.Fatalf("injected %d processed %d, want %d", st.Injected, st.Processed, jobs)
+	}
+	for seq, p := range seen {
+		if p == 0 {
+			t.Fatalf("seq %d never injected", seq)
+		}
+		if want := int32(seq%producers) + 1; p != want {
+			t.Fatalf("seq %d injected by producer %d, want %d", seq, p-1, want-1)
+		}
+	}
+}

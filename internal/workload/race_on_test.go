@@ -1,0 +1,9 @@
+//go:build race
+
+package workload
+
+// raceEnabled reports that this binary runs under the race detector. The
+// distribution-correctness tests draw hundreds of thousands of samples;
+// race instrumentation makes that an order of magnitude slower without
+// adding coverage (generation is single-goroutine), so they skip themselves.
+const raceEnabled = true

@@ -1,0 +1,238 @@
+package workload
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSpecValidate: each shape's parameter constraints must reject the
+// out-of-range values Generate would otherwise compile into nonsense.
+func TestSpecValidate(t *testing.T) {
+	good := func() *Spec {
+		return &Spec{
+			Name:    "t",
+			Arrival: ArrivalSpec{Process: ArrivalMMPP, Burst: 4, PhaseS: 0.01},
+			Classes: []ClassSpec{{Weight: 1, Service: ServiceSpec{Law: ServiceUniform, Mean: 8}}},
+		}
+	}
+	if err := good().Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Spec)
+	}{
+		{"no-name", func(s *Spec) { s.Name = "" }},
+		{"no-classes", func(s *Spec) { s.Classes = nil }},
+		{"zero-weight", func(s *Spec) { s.Classes[0].Weight = 0 }},
+		{"bad-law", func(s *Spec) { s.Classes[0].Service.Law = "exp" }},
+		{"small-mean", func(s *Spec) { s.Classes[0].Service.Mean = 0.5 }},
+		{"bad-process", func(s *Spec) { s.Arrival.Process = "weibull" }},
+		{"burst-le-1", func(s *Spec) { s.Arrival.Burst = 1 }},
+		{"zero-phase", func(s *Spec) { s.Arrival.PhaseS = 0 }},
+		{"future-version", func(s *Spec) { s.Version = SchemaVersion + 1 }},
+		{"pareto-max-le-mean", func(s *Spec) {
+			s.Classes[0].Service = ServiceSpec{Law: ServicePareto, Mean: 100, Alpha: 1.5, Max: 100}
+		}},
+		{"lognormal-no-sigma", func(s *Spec) {
+			s.Classes[0].Service = ServiceSpec{Law: ServiceLognormal, Mean: 100}
+		}},
+	}
+	for _, tc := range cases {
+		s := good()
+		tc.mutate(s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: invalid spec accepted", tc.name)
+		}
+	}
+}
+
+// TestPresetsAllValid: every built-in preset must validate and generate.
+func TestPresetsAllValid(t *testing.T) {
+	names := PresetNames()
+	if len(names) < 5 {
+		t.Fatalf("only %d presets: %v", len(names), names)
+	}
+	for _, name := range names {
+		s, err := Preset(name)
+		if err != nil {
+			t.Fatalf("preset %s: %v", name, err)
+		}
+		tr, err := Generate(s, 1, 200, 1e5)
+		if err != nil {
+			t.Fatalf("preset %s: generate: %v", name, err)
+		}
+		if tr.Jobs() != 200 {
+			t.Fatalf("preset %s: %d jobs", name, tr.Jobs())
+		}
+	}
+	if _, err := Preset("nope"); err == nil {
+		t.Error("unknown preset accepted")
+	}
+}
+
+// TestGenerateDeterministic: the trace is a pure function of
+// (spec, seed, jobs, rate) — identical inputs give identical realizations
+// and hashes; a different seed gives a different realization.
+func TestGenerateDeterministic(t *testing.T) {
+	spec, err := Preset("bursty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Generate(spec, 11, 3000, 5e5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(spec, 11, 3000, 5e5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ha, err := a.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, err := b.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ha != hb {
+		t.Fatalf("same inputs, different hashes:\n%s\n%s", ha, hb)
+	}
+	if !strings.HasPrefix(ha, "sha256:") {
+		t.Fatalf("hash %q lacks algorithm prefix", ha)
+	}
+	for i := range a.ArrivalNs {
+		if a.ArrivalNs[i] != b.ArrivalNs[i] || a.Class[i] != b.Class[i] || a.Service[i] != b.Service[i] {
+			t.Fatalf("job %d differs across identical generations", i)
+		}
+	}
+	c, err := Generate(spec, 12, 3000, 5e5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hc, err := c.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hc == ha {
+		t.Fatal("different seeds produced the same trace hash")
+	}
+	// Arrivals must be non-decreasing (ReadTrace enforces this on load).
+	for i := 1; i < a.Jobs(); i++ {
+		if a.ArrivalNs[i] < a.ArrivalNs[i-1] {
+			t.Fatalf("arrival %d goes backwards", i)
+		}
+	}
+}
+
+// TestTraceRoundTrip: write→read must reproduce the trace bit-for-bit and
+// verify the content hash; tampered records must be rejected.
+func TestTraceRoundTrip(t *testing.T) {
+	spec, err := Preset("heavytail")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Generate(spec, 21, 1500, 2e5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1, err := tr.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := got.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Fatalf("round-trip changed hash: %s vs %s", h1, h2)
+	}
+	if got.Seed != tr.Seed || got.Rate != tr.Rate || got.Jobs() != tr.Jobs() {
+		t.Fatalf("round-trip changed provenance: %+v", got)
+	}
+	if got.Spec.Name != tr.Spec.Name {
+		t.Fatalf("round-trip changed spec name: %q", got.Spec.Name)
+	}
+
+	// Tamper with one record's service time: the hash check must catch it.
+	tampered := strings.Replace(buf.String(), `"s":`, `"s":1`, 1)
+	if tampered == buf.String() {
+		t.Fatal("tamper did not change the serialization")
+	}
+	if _, err := ReadTrace(strings.NewReader(tampered)); err == nil {
+		t.Fatal("tampered trace accepted")
+	}
+
+	// File round-trip via the path helpers.
+	path := filepath.Join(t.TempDir(), "t.trace")
+	if err := WriteTraceFile(path, tr); err != nil {
+		t.Fatal(err)
+	}
+	got2, err := ReadTraceFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h3, _ := got2.Hash(); h3 != h1 {
+		t.Fatalf("file round-trip changed hash")
+	}
+}
+
+// TestScheduleCursorCoversTraceExactly: the per-producer strided cursors
+// must jointly pace every arrival exactly once, with per-producer gaps that
+// telescope back to the absolute schedule.
+func TestScheduleCursorCoversTraceExactly(t *testing.T) {
+	spec, err := Preset("onoff")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Generate(spec, 31, 1000, 3e5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const producers = 3
+	for p := 0; p < producers; p++ {
+		cur := tr.Arrivals(p, producers)
+		var at int64
+		for i := p; i < tr.Jobs(); i += producers {
+			at += int64(cur.Next())
+			if at != tr.ArrivalNs[i] {
+				t.Fatalf("producer %d arrival %d paced to %dns, schedule says %dns", p, i, at, tr.ArrivalNs[i])
+			}
+		}
+		// Past the quota the cursor parks at zero gaps.
+		if g := cur.Next(); g != 0 {
+			t.Fatalf("exhausted cursor returned %v", g)
+		}
+	}
+}
+
+// TestLoadSpec: preset names and JSON files both resolve; garbage fails.
+func TestLoadSpec(t *testing.T) {
+	s, err := LoadSpec("diurnal")
+	if err != nil || s.Name != "diurnal" {
+		t.Fatalf("preset lookup: %v, %+v", err, s)
+	}
+	path := filepath.Join(t.TempDir(), "w.json")
+	body := `{"name":"mine","arrival":{"process":"poisson"},"classes":[{"weight":1,"service":{"law":"uniform","mean":32}}]}`
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := LoadSpec(path)
+	if err != nil || s2.Name != "mine" {
+		t.Fatalf("file lookup: %v, %+v", err, s2)
+	}
+	if _, err := LoadSpec("no-such-spec-anywhere"); err == nil {
+		t.Fatal("nonexistent spec accepted")
+	}
+}
