@@ -1,0 +1,154 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"powerchoice/internal/core"
+	"powerchoice/internal/seqproc"
+)
+
+// Budget measures the ns/op budget of one steady-state Mixed pair: each
+// component probe from core.BudgetProbes runs through the median-of-N
+// microbenchmark runner, the residual (call glue, cache interaction between
+// components) is derived as total − Σ components, and the single-core
+// numbers parameterise the seqproc contention twins to predict the
+// multicore effect of combining. One invocation therefore answers both
+// budget questions: where does a nanosecond go, and what does combining buy
+// when cores are added.
+
+// BudgetSpec configures a budget run.
+type BudgetSpec struct {
+	// Queues and Prefill shape the measured MultiQueue (total elements in
+	// steady state, spread over the queues).
+	Queues  int
+	Prefill int
+	// Runs is the median-of-N sample count per probe.
+	Runs int
+	// Seed drives the probes' deterministic workloads.
+	Seed uint64
+	// Threads lists the thread counts the contention model extrapolates to;
+	// empty means no prediction rows.
+	Threads []int
+}
+
+// BudgetComponent is one measured row of the budget table.
+type BudgetComponent struct {
+	Name    string
+	Doc     string
+	NsPerOp float64
+	// Share is this component's fraction of the measured total.
+	Share float64
+}
+
+// BudgetPrediction is one contention-model row: predicted ns/op at K
+// threads with and without combining, and the resulting win factor.
+type BudgetPrediction struct {
+	Threads        int
+	PlainNsPerOp   float64
+	CombineNsPerOp float64
+	Win            float64
+	FailProb       float64
+	CombineRate    float64
+}
+
+// BudgetResult is the full outcome of one Budget invocation.
+type BudgetResult struct {
+	// Components holds sample, lock, heap, stats, residual, total — in that
+	// order, residual derived.
+	Components []BudgetComponent
+	// TotalNsPerOp is the measured full-pair cost the shares divide by.
+	TotalNsPerOp float64
+	// Predictions extrapolates the single-core numbers across Threads.
+	Predictions []BudgetPrediction
+}
+
+// budgetCombineSlots mirrors core's publication-ring capacity for the
+// prediction rows (the ring size is not exported; four slots is the
+// documented drain bound in internal/core/combine.go).
+const budgetCombineSlots = 4
+
+// Budget runs the decomposition. See BudgetSpec for knobs.
+func Budget(spec BudgetSpec) (BudgetResult, error) {
+	if spec.Runs < 1 {
+		spec.Runs = 1
+	}
+	probes, err := core.BudgetProbes(spec.Queues, spec.Prefill, spec.Seed)
+	if err != nil {
+		return BudgetResult{}, err
+	}
+	measured := make(map[string]BudgetComponent, len(probes))
+	var order []string
+	for _, p := range probes {
+		p := p
+		ns := MedianNsPerOp(spec.Runs, func(b *testing.B) {
+			run := p.New()
+			b.ResetTimer()
+			run(b.N)
+		})
+		measured[p.Name] = BudgetComponent{Name: p.Name, Doc: p.Doc, NsPerOp: ns}
+		if p.Name != "total" {
+			order = append(order, p.Name)
+		}
+	}
+	total, ok := measured["total"]
+	if !ok {
+		return BudgetResult{}, fmt.Errorf("bench: core.BudgetProbes returned no total probe")
+	}
+	res := BudgetResult{TotalNsPerOp: total.NsPerOp}
+	var sum float64
+	for _, name := range order {
+		c := measured[name]
+		c.Share = c.NsPerOp / total.NsPerOp
+		sum += c.NsPerOp
+		res.Components = append(res.Components, c)
+	}
+	residual := total.NsPerOp - sum
+	res.Components = append(res.Components, BudgetComponent{
+		Name:    "residual",
+		Doc:     "total minus components: call glue and cross-component cache effects",
+		NsPerOp: residual,
+		Share:   residual / total.NsPerOp,
+	})
+	total.Share = 1
+	res.Components = append(res.Components, total)
+
+	// Contention predictions from the single-core decomposition: the
+	// critical section is the locked heap op plus the lock handshake; the
+	// sampling (and the residual glue, which a thread also pays outside any
+	// lock) is the outside-section cost; a drained combined op costs one
+	// heap op.
+	sampleNs := measured["sample"].NsPerOp + measured["stats"].NsPerOp + residual
+	critNs := measured["heap"].NsPerOp + measured["lock"].NsPerOp
+	applyNs := measured["heap"].NsPerOp / 2 // one ring op is half a push+pop pair
+	if critNs <= 0 {
+		return res, nil // degenerate measurement; skip predictions
+	}
+	if sampleNs < 0 {
+		sampleNs = 0
+	}
+	for _, k := range spec.Threads {
+		cfg := seqproc.ContentionConfig{
+			K: k, N: spec.Queues,
+			SampleNs: sampleNs, CritNs: critNs, ApplyNs: applyNs,
+		}
+		plain, err := seqproc.PredictContention(cfg)
+		if err != nil {
+			return BudgetResult{}, err
+		}
+		cfg.Slots = budgetCombineSlots
+		comb, err := seqproc.PredictContention(cfg)
+		if err != nil {
+			return BudgetResult{}, err
+		}
+		res.Predictions = append(res.Predictions, BudgetPrediction{
+			Threads:        k,
+			PlainNsPerOp:   plain.NsPerOp,
+			CombineNsPerOp: comb.NsPerOp,
+			Win:            comb.OpsPerNs / plain.OpsPerNs,
+			FailProb:       plain.FailProb,
+			CombineRate:    comb.CombineRate,
+		})
+	}
+	return res, nil
+}

@@ -1,0 +1,98 @@
+package driver
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"powerchoice/internal/bench"
+)
+
+// runMainErr runs a powerbench invocation expected to fail and returns its
+// error.
+func runMainErr(args ...string) error {
+	var out, errBuf bytes.Buffer
+	return Main(args, &out, &errBuf)
+}
+
+// budgetArgs keeps the probe runs tiny: the smoke tests check the
+// decomposition's structure, not its numbers.
+func budgetArgs(extra ...string) []string {
+	base := []string{"-runs", "1", "-prefill", "512", "-queues", "4", "-seed", "7"}
+	return append(base, extra...)
+}
+
+func TestBudgetJSONReport(t *testing.T) {
+	stdout, _ := runMain(t, append([]string{"budget"}, budgetArgs("-threads", "2,4", "-json")...)...)
+	var rep bench.Report
+	if err := json.Unmarshal([]byte(stdout), &rep); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, stdout)
+	}
+	if rep.Command != "budget" || rep.Seed != 7 {
+		t.Errorf("report header: %+v", rep)
+	}
+	byName := map[string]bench.Row{}
+	var models []bench.Row
+	for _, r := range rep.Rows {
+		if r.Component == "model" {
+			models = append(models, r)
+			continue
+		}
+		byName[r.Component] = r
+	}
+	for _, want := range []string{"sample", "lock", "heap", "stats", "residual", "total"} {
+		if _, ok := byName[want]; !ok {
+			t.Errorf("component row %q missing", want)
+		}
+	}
+	total := byName["total"]
+	if total.NsPerOp <= 0 || math.Abs(total.Share-1) > 1e-9 {
+		t.Errorf("total row malformed: %+v", total)
+	}
+	// The decomposition must be additive: components + residual == total.
+	var sum float64
+	for name, r := range byName {
+		if name == "total" {
+			continue
+		}
+		sum += r.NsPerOp
+	}
+	if math.Abs(sum-total.NsPerOp) > 1e-6*math.Abs(total.NsPerOp)+1e-9 {
+		t.Errorf("components sum to %.3f, total is %.3f", sum, total.NsPerOp)
+	}
+	if len(models) != 2 {
+		t.Fatalf("model rows = %d, want 2", len(models))
+	}
+	for _, m := range models {
+		if m.Threads != 2 && m.Threads != 4 {
+			t.Errorf("model row with unexpected thread count: %+v", m)
+		}
+		if m.PlainNsPerOp <= 0 || m.CombineNsPerOp <= 0 || m.CombineWin <= 0 {
+			t.Errorf("model row missing predictions: %+v", m)
+		}
+	}
+}
+
+func TestBudgetSkipsPredictionsWithoutThreads(t *testing.T) {
+	stdout, _ := runMain(t, append([]string{"budget"}, budgetArgs("-threads", "", "-json")...)...)
+	var rep bench.Report
+	if err := json.Unmarshal([]byte(stdout), &rep); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, stdout)
+	}
+	for _, r := range rep.Rows {
+		if r.Component == "model" {
+			t.Errorf("model row present with -threads '': %+v", r)
+		}
+	}
+}
+
+func TestBudgetRejectsBadFlags(t *testing.T) {
+	var err error
+	if err = runMainErr("budget", "-queues", "1"); err == nil {
+		t.Error("queues=1 accepted")
+	}
+	if err = runMainErr("budget", "-threads", "x"); err == nil {
+		t.Error("bad -threads accepted")
+	}
+}

@@ -42,6 +42,10 @@ Subcommands:
   plan         binary-search the worker count meeting a p99-sojourn SLO
                at a given workload and offered rate
   calibrate    print the host's spin-unit cost (the rho <-> rate constant)
+  budget       decompose the steady-state insert+deleteMin pair into a
+               ns/op budget (sample / lock / heap / stats / residual,
+               median-of-N each) and predict combining's multicore win
+               with the seqproc contention model
   help         print this message
 
 Every subcommand accepts -csv (CSV instead of an aligned table), -json
@@ -84,6 +88,8 @@ func Main(args []string, stdout, stderr io.Writer) error {
 		return runPlan(rest, stdout, stderr)
 	case "calibrate":
 		return runCalibrate(rest, stdout, stderr)
+	case "budget":
+		return runBudget(rest, stdout, stderr)
 	case "help", "-h", "--help":
 		fmt.Fprint(stdout, usageText)
 		return nil

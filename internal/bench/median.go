@@ -1,0 +1,37 @@
+package bench
+
+import (
+	"testing"
+
+	"powerchoice/internal/stats"
+)
+
+// Median-of-N microbenchmark runner. EXPERIMENTS.md quotes single numbers
+// from `go test -bench` tables, but a single benchmark invocation is one
+// sample of a noisy distribution (frequency scaling, sibling load, heap
+// layout luck). The helpers here run a testing.Benchmark body N times and
+// summarise with the median — robust to the occasional stalled run in a way
+// the mean is not — so budget tables and acceptance comparisons can be
+// reproduced with one call instead of a shell pipeline into benchstat.
+
+// BenchSamples runs fn through testing.Benchmark `runs` times and returns
+// each run's ns/op. The division is done in floating point (total duration
+// over iterations) so sub-nanosecond resolution survives where
+// BenchmarkResult.NsPerOp would truncate to an integer.
+func BenchSamples(runs int, fn func(b *testing.B)) []float64 {
+	if runs < 1 {
+		runs = 1
+	}
+	out := make([]float64, runs)
+	for i := range out {
+		r := testing.Benchmark(fn)
+		out[i] = float64(r.T.Nanoseconds()) / float64(r.N)
+	}
+	return out
+}
+
+// MedianNsPerOp is the median of BenchSamples: the number the EXPERIMENTS.md
+// tables quote as "median-of-N".
+func MedianNsPerOp(runs int, fn func(b *testing.B)) float64 {
+	return stats.Median(BenchSamples(runs, fn))
+}

@@ -15,6 +15,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"powerchoice/internal/core"
 	"powerchoice/internal/graph"
 	"powerchoice/internal/pqadapt"
 	"powerchoice/internal/sched"
@@ -51,6 +52,10 @@ type ThroughputSpec struct {
 	// implementations; a loop fallback elsewhere). 0 or 1 measures the
 	// classic single-op loop.
 	Batch int
+	// Combining arms flat combining on a MultiQueue's queue locks (see
+	// core.WithCombining); ignored for implementations without internal
+	// queues. The combining line-up entry sets it implicitly.
+	Combining bool
 	// Seed fixes all randomness.
 	Seed uint64
 }
@@ -74,16 +79,30 @@ type ThroughputResult struct {
 	Elapsed time.Duration
 	// MOps is throughput in million operations per second.
 	MOps float64
+	// LockFails, CombinedOps and CombineWaits are core.HandleStats contention
+	// counters summed over every worker handle: try-lock losses, operations
+	// completed remotely through a publication ring, and publications made.
+	// All zero for implementations without core handles; the latter two are
+	// zero unless combining resolved on.
+	LockFails    int64
+	CombinedOps  int64
+	CombineWaits int64
 	// Topology records what the measured queue resolved to.
 	Topology pqadapt.Topology
 }
 
-// paddedCount keeps per-worker counters on separate cache lines.
+// paddedCount keeps per-worker counters on separate cache lines. The
+// contention counters are copied out of the worker's core handle after its
+// loop exits (handles are single-goroutine; reading them mid-run would
+// race).
 type paddedCount struct {
-	n        int64
-	empty    int64
-	buffered int64
-	_        [40]byte
+	n            int64
+	empty        int64
+	buffered     int64
+	lockFails    int64
+	combinedOps  int64
+	combineWaits int64
+	_            [16]byte
 }
 
 // Throughput runs alternating insert / deleteMin pairs on the chosen
@@ -97,7 +116,8 @@ func Throughput(spec ThroughputSpec) (ThroughputResult, error) {
 	}
 	q, err := pqadapt.NewSpec(pqadapt.Spec{
 		Impl: spec.Impl, Queues: spec.Queues,
-		Shards: spec.Shards, LocalBias: spec.LocalBias, Seed: spec.Seed,
+		Shards: spec.Shards, LocalBias: spec.LocalBias,
+		Combining: spec.Combining, Seed: spec.Seed,
 	})
 	if err != nil {
 		return ThroughputResult{}, err
@@ -181,15 +201,24 @@ func Throughput(spec ThroughputSpec) (ThroughputResult, error) {
 			counts[w].n = local
 			counts[w].empty = empty
 			counts[w].buffered = buffered
+			if hl, ok := view.(interface{ Handle() *core.Handle[int32] }); ok {
+				hs := hl.Handle().Stats()
+				counts[w].lockFails = hs.LockFails
+				counts[w].combinedOps = hs.CombinedOps
+				counts[w].combineWaits = hs.CombineWaits
+			}
 		}(w)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
-	var total, empty, buffered int64
+	var total, empty, buffered, fails, combined, waits int64
 	for i := range counts {
 		total += counts[i].n
 		empty += counts[i].empty
 		buffered += counts[i].buffered
+		fails += counts[i].lockFails
+		combined += counts[i].combinedOps
+		waits += counts[i].combineWaits
 	}
 	return ThroughputResult{
 		Ops:          total,
@@ -197,6 +226,9 @@ func Throughput(spec ThroughputSpec) (ThroughputResult, error) {
 		BufferedPops: buffered,
 		Elapsed:      elapsed,
 		MOps:         float64(total) / elapsed.Seconds() / 1e6,
+		LockFails:    fails,
+		CombinedOps:  combined,
+		CombineWaits: waits,
 		Topology:     topology,
 	}, nil
 }

@@ -19,8 +19,9 @@ func TestAppendixCStalledLockHolderDegradesRank(t *testing.T) {
 		}
 		if stallTwoQueues {
 			// Simulate Appendix C's hung process holding two queue locks.
-			mq.queues[0].lock.Lock()
-			mq.queues[1].lock.Lock()
+			var n0, n1 qnode
+			mq.queues[0].lock.Lock(&n0)
+			mq.queues[1].lock.Lock(&n1)
 			defer mq.queues[0].lock.Unlock()
 			defer mq.queues[1].lock.Unlock()
 		}

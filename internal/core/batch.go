@@ -53,9 +53,12 @@ func (h *Handle[V]) InsertBatch(keys []uint64, vals []V) {
 		h.inserts += int64(len(keys))
 		return
 	}
+	// Batches never stage for combining — their elements don't fit one
+	// publication slot, and a batch already amortizes its acquisition — so
+	// lockForInsert cannot return nil here.
 	q := h.sel.lockForInsert()
 	q.pushBatch(keys, vals)
-	q.lock.Unlock()
+	q.unlock()
 	h.inserts += int64(len(keys))
 }
 
@@ -104,12 +107,14 @@ func (h *Handle[V]) DeleteMinBatch(keys []uint64, vals []V, k int) int {
 		h.deletes += int64(n)
 		return n
 	}
+	// No stageDelete: batch deletes never publish (see InsertBatch), so nil
+	// here is always relaxed emptiness.
 	q := h.sel.lockNonEmptyQueue()
 	if q == nil {
 		return 0
 	}
 	n := q.popBatch(keys, vals, k)
-	q.lock.Unlock()
+	q.unlock()
 	h.deletes += int64(n)
 	return n
 }

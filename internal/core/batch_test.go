@@ -54,7 +54,7 @@ func TestInsertBatchSingleQueue(t *testing.T) {
 	h.InsertBatch([]uint64{9, 3, 7, 5}, []int{0, 1, 2, 3})
 	nonEmpty := -1
 	for i := range mq.queues {
-		if c := mq.queues[i].count.Load(); c > 0 {
+		if c := mq.queues[i].count; c > 0 {
 			if nonEmpty >= 0 {
 				t.Fatalf("batch spread over queues %d and %d", nonEmpty, i)
 			}
@@ -388,7 +388,7 @@ func TestBatchStickinessInteraction(t *testing.T) {
 	}
 	nonEmpty := 0
 	for i := range mq.queues {
-		if mq.queues[i].count.Load() > 0 {
+		if mq.queues[i].count > 0 {
 			nonEmpty++
 		}
 	}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"fmt"
+
+	"powerchoice/internal/xrand"
+)
+
+// Budget probes: the components of one steady-state Mixed pair (one Insert
+// plus one DeleteMin on a prefilled structure — the alternating workload of
+// BenchmarkHandleMixed and powerbench throughput), each isolated behind a
+// closure so `powerbench budget` can decompose the measured pair cost into
+// a ns/op budget. The probes live in core because the components they time
+// (selector sampling, the queue lock, the locked heap op, handle
+// accounting) are unexported by design; nothing here runs on a hot path —
+// it is measurement scaffolding.
+//
+// The decomposition is additive by construction: sample + lock + heap +
+// stats re-assembles the pair minus call glue and cache interaction between
+// the components, which the budget table reports as the residual.
+
+// BudgetProbe is one timed component. New builds fresh probe state (its
+// cost is setup, not measurement — callers reset timers after it) and
+// returns the loop body to measure.
+type BudgetProbe struct {
+	// Name is the component's short table label.
+	Name string
+	// Doc is the one-line description the budget table prints.
+	Doc string
+	// New allocates the probe's state and returns the measured loop.
+	New func() func(iters int)
+}
+
+// budgetSink defeats dead-code elimination of probe results.
+var budgetSink uint64
+
+// BudgetProbes returns the component probes for a MultiQueue with the given
+// queue count, total prefill, and seed: sample, lock, heap, stats, and the
+// full pair (named "total"). The per-component state mirrors the total
+// probe's — the same prefill per queue, the same RNG family — so the
+// component costs are measured in the regime the pair runs in.
+func BudgetProbes(queues, prefill int, seed uint64) ([]BudgetProbe, error) {
+	if queues < 2 {
+		return nil, fmt.Errorf("core: budget probes need >= 2 queues, got %d", queues)
+	}
+	if prefill < queues {
+		return nil, fmt.Errorf("core: budget prefill %d below one element per queue", prefill)
+	}
+	prefilled := func() (*MultiQueue[int32], *Handle[int32], *xrand.Source) {
+		mq, err := New[int32](WithQueues(queues), WithSeed(seed))
+		if err != nil {
+			panic(err) // queues >= 2 was validated above
+		}
+		h := mq.Handle()
+		rng := xrand.NewSource(seed ^ 0x5bd1e995)
+		for i := 0; i < prefill; i++ {
+			h.Insert(rng.Uint64()>>1, 0)
+		}
+		return mq, h, rng
+	}
+	return []BudgetProbe{
+		{
+			Name: "sample",
+			Doc:  "queue selection: insert draw + (1+beta) two-choice draw with top reads",
+			New: func() func(int) {
+				_, h, _ := prefilled()
+				s := &h.sel
+				return func(iters int) {
+					var picked uint64
+					for i := 0; i < iters; i++ {
+						if q := s.sampleInsertQueue(); q != nil {
+							picked++
+						}
+						if q := s.sampleDeleteQueue(); q != nil {
+							picked++
+						}
+					}
+					budgetSink += picked
+				}
+			},
+		},
+		{
+			Name: "lock",
+			Doc:  "two uncontended TryLock acquisitions + combining-aware releases",
+			New: func() func(int) {
+				mq, _, _ := prefilled()
+				q := &mq.queues[0]
+				return func(iters int) {
+					for i := 0; i < iters; i++ {
+						if q.lock.TryLock() {
+							q.unlock()
+						}
+						if q.lock.TryLock() {
+							q.unlock()
+						}
+					}
+				}
+			},
+		},
+		{
+			Name: "heap",
+			Doc:  "locked-queue push + popMin pair, including cached top/count upkeep",
+			New: func() func(int) {
+				mq, _, rng := prefilled()
+				q := &mq.queues[0]
+				// The total probe's prefill spreads over all queues; give this
+				// single queue the same occupancy the pair's pops see.
+				for q.count < int64(prefill/queues) {
+					q.push(rng.Uint64()>>1, 0)
+				}
+				return func(iters int) {
+					for i := 0; i < iters; i++ {
+						q.push(rng.Uint64()>>1, 0)
+						it, _ := q.popMin()
+						budgetSink += it.Key
+					}
+				}
+			},
+		},
+		{
+			Name: "stats",
+			Doc:  "per-op handle accounting: op counters, combining stage + result check",
+			New: func() func(int) {
+				_, h, _ := prefilled()
+				s := &h.sel
+				return func(iters int) {
+					for i := 0; i < iters; i++ {
+						s.stageInsert(uint64(i), 0)
+						h.inserts++
+						s.stageDelete()
+						if _, _, ok := s.takeCombined(); ok {
+							budgetSink++
+						}
+						h.deletes++
+					}
+				}
+			},
+		},
+		{
+			Name: "total",
+			Doc:  "the full Insert + DeleteMin pair the components decompose",
+			New: func() func(int) {
+				_, h, rng := prefilled()
+				return func(iters int) {
+					for i := 0; i < iters; i++ {
+						h.Insert(rng.Uint64()>>1, 0)
+						if k, _, ok := h.DeleteMin(); ok {
+							budgetSink += k
+						}
+					}
+				}
+			},
+		},
+	}, nil
+}

@@ -1,0 +1,223 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"powerchoice/internal/xrand"
+)
+
+// Concurrency tests for flat combining (WithCombining): exact-once delivery
+// of published ops, liveness under sustained contention, and obstacle
+// accounting. Deliberately few queues so TryLock races — the only trigger of
+// the publication path — are frequent. The names carry the TestConcurrent
+// prefix so CI's race leg covers them.
+
+// TestConcurrentCombiningMultisetPreservation is the exact-once test: every
+// key inserted (possibly through a publication slot) must come back out
+// exactly once (possibly through a slot), with its value intact — a lost
+// slot shows up as a missing key, a double-applied slot as a duplicate, and
+// slot payload corruption as a key/value mismatch.
+func TestConcurrentCombiningMultisetPreservation(t *testing.T) {
+	const workers = 8
+	const perWorker = 20000
+	mq := mustNew[uint64](t, WithQueues(4), WithSeed(31), WithCombining(true))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := mq.Handle()
+			for i := 0; i < perWorker; i++ {
+				k := uint64(w*perWorker + i)
+				h.Insert(k, k)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if mq.Len() != workers*perWorker {
+		t.Fatalf("Len = %d, want %d", mq.Len(), workers*perWorker)
+	}
+	results := make([][]uint64, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := mq.Handle()
+			var out []uint64
+			for {
+				k, v, ok := h.DeleteMin()
+				if !ok {
+					break
+				}
+				if k != v {
+					t.Errorf("key %d carried value %d (slot payload corrupted)", k, v)
+					return
+				}
+				out = append(out, k)
+			}
+			results[w] = out
+		}(w)
+	}
+	wg.Wait()
+	seen := make([]bool, workers*perWorker)
+	total := 0
+	for _, out := range results {
+		for _, k := range out {
+			if seen[k] {
+				t.Fatalf("key %d deleted twice (published op applied twice)", k)
+			}
+			seen[k] = true
+			total++
+		}
+	}
+	if total != workers*perWorker {
+		t.Fatalf("recovered %d of %d (published op lost)", total, workers*perWorker)
+	}
+}
+
+// TestConcurrentCombiningMixedWorkload interleaves inserts and deletes on a
+// combining structure and checks conservation plus accounting coherence:
+// remote completions are a subset of publications, and every op still counts
+// exactly once in Inserts/Deletes no matter which path completed it.
+func TestConcurrentCombiningMixedWorkload(t *testing.T) {
+	const workers = 8
+	const ops = 30000
+	mq := mustNew[int](t, WithQueues(4), WithBeta(0.75), WithSeed(32), WithCombining(true))
+	var wg sync.WaitGroup
+	stats := make([]HandleStats, workers)
+	inserted := make([]int64, workers)
+	deleted := make([]int64, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := mq.Handle()
+			rng := xrand.NewSource(uint64(2000 + w))
+			for i := 0; i < ops; i++ {
+				if rng.Float64() < 0.6 {
+					h.Insert(rng.Uint64()%1e6, i)
+					inserted[w]++
+				} else if _, _, ok := h.DeleteMin(); ok {
+					deleted[w]++
+				}
+			}
+			stats[w] = h.Stats()
+		}(w)
+	}
+	wg.Wait()
+	var ins, del int64
+	for w := 0; w < workers; w++ {
+		ins += inserted[w]
+		del += deleted[w]
+		s := stats[w]
+		if s.CombinedOps > s.CombineWaits {
+			t.Errorf("worker %d: CombinedOps %d > CombineWaits %d", w, s.CombinedOps, s.CombineWaits)
+		}
+		if s.Inserts != inserted[w] || s.Deletes != deleted[w] {
+			t.Errorf("worker %d: stats (%d ins, %d del) disagree with driver (%d, %d)",
+				w, s.Inserts, s.Deletes, inserted[w], deleted[w])
+		}
+	}
+	if got := int64(mq.Len()); got != ins-del {
+		t.Fatalf("Len = %d, want %d - %d = %d", got, ins, del, ins-del)
+	}
+	var drained int64
+	for {
+		if _, _, ok := mq.DeleteMin(); !ok {
+			break
+		}
+		drained++
+	}
+	if drained != ins-del {
+		t.Fatalf("drained %d, want %d", drained, ins-del)
+	}
+}
+
+// TestConcurrentCombiningWithBatches mixes batch and single-element ops:
+// batches never publish, but a batch holder drains the ring on release, so
+// the two paths must still conserve the multiset together.
+func TestConcurrentCombiningWithBatches(t *testing.T) {
+	const workers = 6
+	const rounds = 4000
+	const k = 8
+	mq := mustNew[uint64](t, WithQueues(4), WithSeed(33), WithCombining(true))
+	var wg sync.WaitGroup
+	inserted := make([]int64, workers)
+	deleted := make([]int64, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := mq.Handle()
+			rng := xrand.NewSource(uint64(3000 + w))
+			keys := make([]uint64, k)
+			vals := make([]uint64, k)
+			for i := 0; i < rounds; i++ {
+				switch {
+				case w%2 == 0 && i%16 == 0:
+					for j := range keys {
+						keys[j] = rng.Uint64() >> 1
+					}
+					h.InsertBatch(keys, vals)
+					inserted[w] += k
+				case w%2 == 0:
+					h.Insert(rng.Uint64()>>1, 0)
+					inserted[w]++
+				case i%16 == 0:
+					deleted[w] += int64(h.DeleteMinBatch(keys, vals, k))
+				default:
+					if _, _, ok := h.DeleteMin(); ok {
+						deleted[w]++
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	var ins, del int64
+	for w := 0; w < workers; w++ {
+		ins += inserted[w]
+		del += deleted[w]
+	}
+	if got := int64(mq.Len()); got != ins-del {
+		t.Fatalf("Len = %d, want %d - %d = %d", got, ins, del, ins-del)
+	}
+}
+
+// TestCombiningInertWithoutContention: single-threaded, the publication path
+// is unreachable (TryLock cannot fail) — combining must change nothing and
+// publish nothing.
+func TestCombiningInertWithoutContention(t *testing.T) {
+	mq := mustNew[int](t, WithQueues(4), WithSeed(34), WithCombining(true))
+	h := mq.Handle()
+	for i := 0; i < 1000; i++ {
+		h.Insert(uint64(i), i)
+	}
+	for i := 0; i < 1000; i++ {
+		if _, _, ok := h.DeleteMin(); !ok {
+			t.Fatalf("drained early at %d", i)
+		}
+	}
+	s := h.Stats()
+	if s.CombineWaits != 0 || s.CombinedOps != 0 {
+		t.Fatalf("single-threaded run published: %+v", s)
+	}
+	if !mq.Config().Combining {
+		t.Fatal("Config.Combining = false, want the armed request reported")
+	}
+}
+
+// TestCombiningResolvedOffInAtomicMode: under the global lock there is no
+// per-queue TryLock race, so the request resolves to disabled and is
+// reported as such (resolve-and-report, like the shard clamp).
+func TestCombiningResolvedOffInAtomicMode(t *testing.T) {
+	mq := mustNew[int](t, WithQueues(4), WithAtomic(true), WithCombining(true), WithSeed(35))
+	if mq.Config().Combining {
+		t.Fatal("Config.Combining = true in atomic mode, want resolved off")
+	}
+	mq.Insert(1, 1)
+	if k, _, ok := mq.DeleteMin(); !ok || k != 1 {
+		t.Fatalf("DeleteMin = %d,%v", k, ok)
+	}
+}

@@ -48,6 +48,7 @@ type MultiQueue[V any] struct {
 	shards     int
 	localBias  float64
 	atomic     bool
+	combining  bool
 	resolved   Config
 
 	globalMu sync.Mutex // used only in atomic mode
@@ -58,8 +59,12 @@ type MultiQueue[V any] struct {
 
 // lockedQueue is one sequential heap with its try-lock, cached top, and
 // element count, padded out to its own pair of cache lines so queue hot
-// words do not false-share. top and count are written only under lock and
-// read without it.
+// words do not false-share. top is written only under lock and read without
+// it (the samplers' unsynchronised candidate comparison). count is a plain
+// field guarded by the queue lock (globalMu in atomic mode): making it
+// atomic would cost a sequentially-consistent store — an XCHG on amd64,
+// ~20 cycles — on every push and pop for the benefit of Len alone, so Len
+// takes each queue's lock briefly instead (it is a cold path).
 //
 // The default heap kind is devirtualized: dary stores the flat 4-ary heap
 // inline (heap stays nil), so the hot path's Push/PopMin are direct calls on
@@ -67,22 +72,27 @@ type MultiQueue[V any] struct {
 // separately allocated heap header. Non-default kinds keep the interface
 // path via heap; every access site dispatches on heap == nil.
 //
-// The payload is 64 bytes (lock 4 + align 4, top 8, count 8, dary slice
-// header 24, heap interface 16); the pad brings the size to 128 — a multiple
-// of two 64-byte cache lines, so adjacent mq.queues elements never share a
-// line and the adjacent-line prefetcher cannot couple them either. A 72-byte
+// The payload is 104 bytes (lock 16: word 4 + align 4 + MCS tail 8, top 8,
+// count 8, dary split-slice headers 48, heap interface 16, comb pointer 8);
+// the pad brings the size to 128 — a multiple of two 64-byte cache lines, so
+// adjacent mq.queues elements never share a line and the adjacent-line
+// prefetcher cannot couple them either. The hot words every operation
+// touches (lock word, top, count) sit in the first 64 bytes. A 72-byte
 // version of this struct once left every element straddling lines with its
 // neighbours despite this comment claiming otherwise;
 // TestLockedQueuePaddedToCacheLinePair pins the layout.
 //
 //powervet:cacheline=128
 type lockedQueue[V any] struct {
-	lock  spinLock
+	lock  queuedLock
 	top   atomicUint64 // cached minimum key, emptyTop when empty
-	count atomicInt64  // cached heap length
+	count int64        // cached heap length, guarded by lock
 	dary  pqueue.DAryHeap[V]
 	heap  pqueue.Queue[V] // nil when devirtualized onto dary
-	_     [64]byte        // pad the 64-byte payload to 128 bytes
+	// comb is the flat-combining publication ring, nil unless WithCombining.
+	// Set at construction, read-only afterwards.
+	comb *combineRing[V]
+	_    [24]byte // pad the 104-byte payload to 128 bytes
 }
 
 // Config reports the topology and parameters a MultiQueue actually resolved
@@ -115,6 +125,10 @@ type Config struct {
 	Heap pqueue.Kind
 	// Atomic reports the distributionally linearizable validation mode.
 	Atomic bool
+	// Combining reports whether flat combining is armed on the queue locks
+	// (WithCombining). Resolved: requesting it together with Atomic reads
+	// false here, since the global lock admits no per-queue TryLock race.
+	Combining bool
 	// QueuesPinned is true when WithQueues fixed n explicitly; false means
 	// n was derived from factor × GOMAXPROCS and the floor.
 	QueuesPinned bool
@@ -136,6 +150,7 @@ func New[V any](opts ...Option) (*MultiQueue[V], error) {
 		shards:     cfg.shards,
 		localBias:  cfg.localBias,
 		atomic:     cfg.atomicMode,
+		combining:  cfg.combining,
 		resolved: Config{
 			Queues:        cfg.queues,
 			Choices:       cfg.choices,
@@ -146,6 +161,7 @@ func New[V any](opts ...Option) (*MultiQueue[V], error) {
 			Seed:          cfg.seed,
 			Heap:          cfg.heapKind,
 			Atomic:        cfg.atomicMode,
+			Combining:     cfg.combining,
 			QueuesPinned:  cfg.queuesPinned,
 			ChoicesPinned: cfg.choicesPinned,
 		},
@@ -159,6 +175,14 @@ func New[V any](opts ...Option) (*MultiQueue[V], error) {
 			mq.queues[i].heap = pqueue.New[V](cfg.heapKind)
 		}
 		mq.queues[i].top.Store(emptyTop)
+	}
+	if cfg.combining {
+		// One backing array for all rings: slots are individually padded, so
+		// contiguity costs nothing and saves n-1 allocations.
+		rings := make([]combineRing[V], cfg.queues)
+		for i := range mq.queues {
+			mq.queues[i].comb = &rings[i]
+		}
 	}
 	mq.handles.New = func() any { return mq.newHandle() }
 	return mq, nil
@@ -180,13 +204,28 @@ func (mq *MultiQueue[V]) Choices() int { return mq.choices }
 // Shards returns the resolved shard count g (1 = unsharded).
 func (mq *MultiQueue[V]) Shards() int { return mq.shards }
 
-// Len returns the number of elements present. It sums racy per-queue
-// counts, so under concurrent mutation the value is approximate; it is
-// exact whenever no operation is in flight.
+// Len returns the number of elements present. It reads each queue's count
+// under that queue's lock (the count is lock-guarded so the hot paths can
+// maintain it with plain stores), so under concurrent mutation the value is
+// still approximate — queues are visited in sequence, not snapshotted
+// together — and exact whenever no operation is in flight. Len briefly
+// contends each queue lock; it is not for hot paths.
 func (mq *MultiQueue[V]) Len() int {
 	var total int64
+	if mq.atomic {
+		mq.globalMu.Lock()
+		for i := range mq.queues {
+			total += mq.queues[i].count
+		}
+		mq.globalMu.Unlock()
+		return int(total)
+	}
+	var n qnode
 	for i := range mq.queues {
-		total += mq.queues[i].count.Load()
+		q := &mq.queues[i]
+		q.lock.Lock(&n)
+		total += q.count
+		q.lock.Unlock()
 	}
 	return int(total)
 }
@@ -220,7 +259,7 @@ func (q *lockedQueue[V]) refreshTop() {
 	} else {
 		q.top.Store(emptyTop)
 	}
-	q.count.Store(int64(q.heap.Len()))
+	q.count = int64(q.heap.Len())
 }
 
 // syncDary is refreshTop for the devirtualized heap: it reads the new top
@@ -233,14 +272,15 @@ func (q *lockedQueue[V]) syncDary() {
 	} else {
 		q.top.Store(emptyTop)
 	}
-	q.count.Store(int64(q.dary.Len()))
+	q.count = int64(q.dary.Len())
 }
 
 // push inserts under the held lock. The cached top is maintained in O(1) —
 // the new top is min(top, key) and the count just increments — so the common
 // insert does no PeekMin at all (the pre-devirtualization code re-derived
-// the top from the heap after every Push). top and count are written only
-// under q.lock, so plain load+store pairs replace atomic RMWs here.
+// the top from the heap after every Push). top is written only under q.lock,
+// so a plain load+store pair replaces an atomic RMW, and the store is rare:
+// a random key is below the current minimum with probability ~1/(count+1).
 //
 //powervet:hotpath
 func (q *lockedQueue[V]) push(key uint64, value V) {
@@ -253,7 +293,7 @@ func (q *lockedQueue[V]) push(key uint64, value V) {
 	if key < q.top.Load() {
 		q.top.Store(key)
 	}
-	q.count.Store(q.count.Load() + 1)
+	q.count++
 }
 
 // pushBatch inserts all keys under the held lock with a single cached-top
@@ -288,7 +328,7 @@ func (q *lockedQueue[V]) pushBatch(keys []uint64, vals []V) {
 	if minKey < q.top.Load() {
 		q.top.Store(minKey)
 	}
-	q.count.Store(q.count.Load() + int64(len(keys)))
+	q.count += int64(len(keys))
 }
 
 // emptyUnderLock repairs the cached top of a queue found empty while its

@@ -180,6 +180,75 @@ func BenchmarkHandleMixedBatch(b *testing.B) {
 	}
 }
 
+// BenchmarkTryLockContended pins the TryLock fast-path choice: a single CAS,
+// with Contended as a separate load-only backoff hint, rather than the old
+// load+CAS pair. Under contention a leading load is pure overhead when it
+// reads 0 (the CAS re-reads the line exclusively anyway) and when it reads 1
+// the caller needed Contended semantics, not TryLock. The sub-benchmarks
+// measure the acquire attempt itself while sibling goroutines hammer the
+// same lock word:
+//
+//	cas:       TryLock()                — the shipped single-CAS form
+//	load+cas:  Contended() || TryLock() — the rejected double-read form
+//
+// Run with GOMAXPROCS > 1 for the contended regime; at GOMAXPROCS=1 both
+// forms degenerate to the uncontended cost and the comparison is flat (see
+// EXPERIMENTS.md, "1-core comparability").
+func BenchmarkTryLockContended(b *testing.B) {
+	run := func(b *testing.B, attempt func(l *queuedLock) bool) {
+		var l queuedLock
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if attempt(&l) {
+					l.Unlock()
+				}
+			}
+		})
+	}
+	b.Run("cas", func(b *testing.B) {
+		run(b, func(l *queuedLock) bool { return l.TryLock() })
+	})
+	b.Run("load+cas", func(b *testing.B) {
+		run(b, func(l *queuedLock) bool { return !l.Contended() && l.TryLock() })
+	})
+}
+
+// BenchmarkQueuedLockHandoff measures the blocking path: every goroutine
+// queues with its own qnode, so ns/op is the full enqueue → local spin →
+// hand-off cycle under maximal contention on one lock.
+func BenchmarkQueuedLockHandoff(b *testing.B) {
+	var l queuedLock
+	b.RunParallel(func(pb *testing.PB) {
+		var n qnode
+		for pb.Next() {
+			l.Lock(&n)
+			l.Unlock()
+		}
+	})
+}
+
+// BenchmarkHandleMixedCombining is BenchmarkHandleMixed/dary with combining
+// armed: single-threaded the publication path never triggers, so the delta
+// against the plain run is the pure bookkeeping cost of the feature (two
+// staging stores and a comb-pointer check per unlock).
+func BenchmarkHandleMixedCombining(b *testing.B) {
+	mq, err := New[int32](WithQueues(8), WithSeed(7), WithCombining(true))
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := mq.Handle()
+	rng := xrand.NewSource(9)
+	for i := 0; i < 4096; i++ {
+		h.Insert(rng.Uint64()>>1, 0)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Insert(rng.Uint64()>>1, 0)
+		h.DeleteMin()
+	}
+}
+
 // BenchmarkHandleDeleteMinBuffered measures the executor-facing buffered
 // deletion: one DeleteMinBatch refill per k pops.
 func BenchmarkHandleDeleteMinBuffered(b *testing.B) {

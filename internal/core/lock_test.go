@@ -1,0 +1,113 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestQueuedLockMutualExclusion drives the hybrid lock from both of its
+// acquisition paths at once — queued Lock callers and TryLock bargers that
+// fall back to the queue — and checks a plain (unsynchronised) counter under
+// it. The race detector pins mutual exclusion directly; the final count pins
+// that no acquisition was lost or doubled.
+func TestQueuedLockMutualExclusion(t *testing.T) {
+	const workers = 8
+	const perWorker = 5000
+	var l queuedLock
+	counter := 0
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var n qnode
+			for i := 0; i < perWorker; i++ {
+				if w%2 == 0 {
+					l.Lock(&n)
+				} else if !l.TryLock() {
+					// Barger: one relaxed attempt, then the queued path —
+					// the selector's shape when combining publication fails.
+					l.Lock(&n)
+				}
+				counter++
+				l.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if counter != workers*perWorker {
+		t.Fatalf("counter = %d, want %d (lost or doubled acquisitions)", counter, workers*perWorker)
+	}
+}
+
+// TestQueuedLockQueuedHandoff serialises several Lock waiters behind one
+// holder: every waiter must eventually acquire (liveness of the MCS hand-off
+// chain, including the head's competition with the test-and-set word), and
+// each release must wake at most one waiter into the critical section.
+func TestQueuedLockQueuedHandoff(t *testing.T) {
+	const waiters = 6
+	var l queuedLock
+	if !l.TryLock() {
+		t.Fatal("TryLock failed on a fresh lock")
+	}
+	inside := 0
+	var wg sync.WaitGroup
+	for w := 0; w < waiters; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var n qnode
+			l.Lock(&n)
+			inside++
+			l.Unlock()
+		}()
+	}
+	l.Unlock()
+	wg.Wait()
+	if inside != waiters {
+		t.Fatalf("inside = %d, want %d", inside, waiters)
+	}
+}
+
+// TestQueuedLockContendedHint: Contended is the load-only backoff hint —
+// it must track the lock word without ever acquiring.
+func TestQueuedLockContendedHint(t *testing.T) {
+	var l queuedLock
+	if l.Contended() {
+		t.Fatal("fresh lock reports contended")
+	}
+	if !l.TryLock() {
+		t.Fatal("TryLock failed on a fresh lock")
+	}
+	if !l.Contended() {
+		t.Fatal("held lock reports uncontended")
+	}
+	if l.TryLock() {
+		t.Fatal("TryLock succeeded on a held lock")
+	}
+	l.Unlock()
+	if l.Contended() {
+		t.Fatal("released lock reports contended")
+	}
+}
+
+// TestQueuedLockAllocationFree: both acquisition paths are allocation-free —
+// the queued path because the qnode is caller-supplied (the selector embeds
+// it in the Handle), the relaxed path because it is a single CAS.
+func TestQueuedLockAllocationFree(t *testing.T) {
+	var l queuedLock
+	var n qnode
+	assertZeroAllocs(t, "Lock/Unlock", func() {
+		l.Lock(&n)
+		l.Unlock()
+	})
+	assertZeroAllocs(t, "TryLock/Contended/Unlock", func() {
+		if !l.TryLock() {
+			t.Fatal("TryLock failed single-threaded")
+		}
+		if !l.Contended() {
+			t.Fatal("held lock reports uncontended")
+		}
+		l.Unlock()
+	})
+}

@@ -82,7 +82,7 @@ func TestLocalBiasPinsInsertsToHomeShard(t *testing.T) {
 	}
 	var home, foreign int64
 	for i := range mq.queues {
-		if c := mq.queues[i].count.Load(); i < 2 {
+		if c := mq.queues[i].count; i < 2 {
 			home += c
 		} else {
 			foreign += c

@@ -75,7 +75,7 @@ func TestStickyInsertsLandOnOneQueue(t *testing.T) {
 	}
 	nonEmpty := 0
 	for i := range mq.queues {
-		if mq.queues[i].count.Load() > 0 {
+		if mq.queues[i].count > 0 {
 			nonEmpty++
 		}
 	}

@@ -99,9 +99,12 @@ func TestSliceHeapProperty(t *testing.T) {
 			t.Fatalf("binary heap property violated at %d", i)
 		}
 	}
-	for i := 1; i < len(dh.items); i++ {
-		if dh.items[(i-1)/daryDegree].Key > dh.items[i].Key {
+	for i := 1; i < len(dh.keys); i++ {
+		if dh.keys[(i-1)/daryDegree] > dh.keys[i] {
 			t.Fatalf("d-ary heap property violated at %d", i)
 		}
+	}
+	if len(dh.vals) != len(dh.keys) {
+		t.Fatalf("split slices diverged: %d keys, %d vals", len(dh.keys), len(dh.vals))
 	}
 }

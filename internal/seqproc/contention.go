@@ -1,0 +1,243 @@
+package seqproc
+
+import (
+	"fmt"
+	"math"
+
+	"powerchoice/internal/xrand"
+)
+
+// Contention twin models: an analytic fixed point (PredictContention) and a
+// deterministic virtual-time simulation (SimulateContention) of k threads
+// driving TryLock-based queues, with and without flat combining. They play
+// the same role for the lock layer that ExpProcess plays for the rank layer:
+// the closed form makes a falsifiable prediction, the simulation checks it
+// step by step, and the tests hold the two against each other (and against
+// the shape the real powerbench runs show).
+//
+// Both models share one op anatomy, parameterised by three single-core
+// measurable costs (the ns/op budget of `powerbench budget` supplies them):
+//
+//	sample  — selection work outside any lock: RNG draws, top reads
+//	crit    — the critical section: heap op plus lock acquire/release
+//	apply   — one combined op applied during a holder's drain (heap op only;
+//	          the publisher already paid its own sampling)
+//
+// An op samples a queue, then TryLocks it. On failure the plain protocol
+// re-samples (paying sample again); the combining protocol publishes into
+// the holder's ring when a slot is free and completes when the holder
+// drains — the op never retries, and the holder's section stretches by
+// `apply`. That is the mechanism by which combining converts lock-fail
+// retries into amortised holder work, and the model's job is to predict how
+// much multicore throughput that conversion buys from quantities measured
+// on one core.
+
+// ContentionConfig parameterises the twin contention models.
+type ContentionConfig struct {
+	// K is the thread count, N the queue (= lock) count.
+	K, N int
+	// SampleNs, CritNs, ApplyNs are the op-anatomy costs described above.
+	SampleNs, CritNs, ApplyNs float64
+	// Slots is the publication-ring capacity per queue; 0 disables
+	// combining (every failed attempt re-samples).
+	Slots int
+	// Seed drives the simulation's queue choices. The analytic model
+	// ignores it.
+	Seed uint64
+}
+
+func (c ContentionConfig) validate() error {
+	if c.K < 1 {
+		return fmt.Errorf("seqproc: contention model needs K >= 1 threads, got %d", c.K)
+	}
+	if c.N < 1 {
+		return fmt.Errorf("seqproc: contention model needs N >= 1 queues, got %d", c.N)
+	}
+	if c.SampleNs < 0 || c.CritNs <= 0 || c.ApplyNs < 0 {
+		return fmt.Errorf("seqproc: contention costs must be positive (sample %v, crit %v, apply %v)",
+			c.SampleNs, c.CritNs, c.ApplyNs)
+	}
+	if c.Slots < 0 {
+		return fmt.Errorf("seqproc: negative ring capacity %d", c.Slots)
+	}
+	return nil
+}
+
+// ContentionResult summarises either model's steady state.
+type ContentionResult struct {
+	// NsPerOp is the mean wall time one thread spends per completed op.
+	NsPerOp float64
+	// OpsPerNs is the aggregate throughput of all K threads.
+	OpsPerNs float64
+	// FailProb is the per-attempt probability that the sampled queue's
+	// TryLock fails.
+	FailProb float64
+	// FailsPerOp is the mean number of failed attempts per completed op.
+	FailsPerOp float64
+	// CombineRate is the fraction of ops completed through a publication
+	// ring rather than by winning the lock (0 without combining).
+	CombineRate float64
+	// HoldNs is the mean lock-hold time per critical section, including
+	// drained combined ops.
+	HoldNs float64
+	// Ops, LockFails and CombinedOps are simulation totals; the analytic
+	// model leaves them zero.
+	Ops, LockFails, CombinedOps int64
+}
+
+// PredictContention solves the analytic fixed point. Let p be the
+// per-attempt fail probability, h the mean hold time and T the mean ns/op.
+// A queue is held by one of the other K−1 threads for the fraction of time
+// each spends holding, spread over N queues:
+//
+//	p = (K−1) · h · sections/op / (N · T)
+//
+// Without combining every op ends in one successful critical section
+// (sections/op = 1−p per attempt ⇒ 1 per op), h = crit, and retries pay a
+// fresh sample each: T = sample/(1−p) + crit.
+//
+// With combining a failed first attempt publishes instead of retrying: the
+// op completes after the holder's mean residual hold h/2, only the 1−p
+// direct ops open sections, and each section absorbs the published ops that
+// arrived per direct op, d = p/(1−p), at apply each:
+//
+//	h = crit + apply·p/(1−p)
+//	T = sample + (1−p)·crit + p·h/2
+//
+// Both systems are solved by damped iteration; they contract comfortably
+// for any p bounded away from 1 (the simulation covers the saturated end).
+func PredictContention(cfg ContentionConfig) (ContentionResult, error) {
+	if err := cfg.validate(); err != nil {
+		return ContentionResult{}, err
+	}
+	s, c, a := cfg.SampleNs, cfg.CritNs, cfg.ApplyNs
+	combining := cfg.Slots > 0
+	p := 0.0
+	var t, h float64
+	for iter := 0; iter < 200; iter++ {
+		if combining {
+			h = c + a*p/math.Max(1-p, 1e-9)
+			t = s + (1-p)*c + p*h/2
+		} else {
+			h = c
+			t = s/math.Max(1-p, 1e-9) + c
+		}
+		sectionsPerOp := 1.0
+		if combining {
+			sectionsPerOp = 1 - p
+		}
+		next := float64(cfg.K-1) * h * sectionsPerOp / (float64(cfg.N) * t)
+		next = math.Min(next, 0.999)
+		p += 0.5 * (next - p)
+	}
+	res := ContentionResult{
+		NsPerOp:  t,
+		OpsPerNs: float64(cfg.K) / t,
+		FailProb: p,
+		HoldNs:   h,
+	}
+	if combining {
+		res.CombineRate = p
+		res.FailsPerOp = p
+	} else {
+		res.FailsPerOp = p / math.Max(1-p, 1e-9)
+	}
+	return res, nil
+}
+
+// PredictedCombiningWin returns the model's multicore throughput ratio
+// (combining over plain) for the given configuration — the number the
+// combining tentpole claims and the sweep in `powerbench budget` prints.
+// cfg.Slots must be the combining ring capacity; the plain run uses 0.
+func PredictedCombiningWin(cfg ContentionConfig) (float64, error) {
+	if cfg.Slots <= 0 {
+		return 0, fmt.Errorf("seqproc: PredictedCombiningWin needs Slots > 0")
+	}
+	with, err := PredictContention(cfg)
+	if err != nil {
+		return 0, err
+	}
+	plain := cfg
+	plain.Slots = 0
+	without, err := PredictContention(plain)
+	if err != nil {
+		return 0, err
+	}
+	return with.OpsPerNs / without.OpsPerNs, nil
+}
+
+// SimulateContention runs the deterministic virtual-time twin: K threads
+// advance a private clock through sample → attempt cycles against N queues
+// whose release times are tracked exactly. Acquisition sets the queue's
+// release to now+crit; a failed attempt either re-samples (plain, or ring
+// full) or publishes — extending the holder's release by apply and
+// completing when the (then-current) release arrives. Thread scheduling is
+// by minimum clock with index tie-breaks and all randomness comes from one
+// seeded Source, so equal configs produce bit-identical results.
+func SimulateContention(cfg ContentionConfig, opsPerThread int) (ContentionResult, error) {
+	if err := cfg.validate(); err != nil {
+		return ContentionResult{}, err
+	}
+	if opsPerThread < 1 {
+		return ContentionResult{}, fmt.Errorf("seqproc: need opsPerThread >= 1, got %d", opsPerThread)
+	}
+	rng := xrand.NewSource(cfg.Seed)
+	clock := make([]float64, cfg.K)
+	done := make([]int, cfg.K)
+	freeAt := make([]float64, cfg.N)
+	pubs := make([]int, cfg.N) // published ops attached to the current hold
+	var res ContentionResult
+	var holdSum float64
+	var sections int64
+	total := cfg.K * opsPerThread
+	for res.Ops < int64(total) {
+		// The thread with the smallest clock acts; ties go to the lowest
+		// index, keeping the trace independent of map/scheduler order.
+		ti := -1
+		for i := 0; i < cfg.K; i++ {
+			if done[i] < opsPerThread && (ti < 0 || clock[i] < clock[ti]) {
+				ti = i
+			}
+		}
+		clock[ti] += cfg.SampleNs
+		q := rng.Intn(cfg.N)
+		if freeAt[q] <= clock[ti] {
+			// Lock won: one critical section, then release.
+			freeAt[q] = clock[ti] + cfg.CritNs
+			pubs[q] = 0
+			clock[ti] = freeAt[q]
+			holdSum += cfg.CritNs
+			sections++
+			done[ti]++
+			res.Ops++
+			continue
+		}
+		res.LockFails++
+		if cfg.Slots > 0 && pubs[q] < cfg.Slots {
+			// Publish: the holder's drain absorbs the op; this thread's op
+			// completes at the extended release time.
+			pubs[q]++
+			freeAt[q] += cfg.ApplyNs
+			holdSum += cfg.ApplyNs
+			clock[ti] = freeAt[q]
+			res.CombinedOps++
+			done[ti]++
+			res.Ops++
+		}
+		// Plain protocol (or ring full): loop back to a fresh sample.
+	}
+	var sum float64
+	for _, t := range clock {
+		sum += t
+	}
+	res.NsPerOp = sum / float64(res.Ops)
+	res.OpsPerNs = float64(cfg.K) / res.NsPerOp
+	attempts := res.Ops + res.LockFails
+	res.FailProb = float64(res.LockFails) / float64(attempts)
+	res.FailsPerOp = float64(res.LockFails) / float64(res.Ops)
+	res.CombineRate = float64(res.CombinedOps) / float64(res.Ops)
+	if sections > 0 {
+		res.HoldNs = holdSum / float64(sections)
+	}
+	return res, nil
+}

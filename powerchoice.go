@@ -54,6 +54,11 @@ var (
 	// WithLocalBias sets the probability a sharded handle samples within
 	// its home shard instead of globally (default 0 = always global).
 	WithLocalBias = core.WithLocalBias
+	// WithCombining arms flat combining on the queue locks: a handle that
+	// loses a TryLock race may publish its operation into the queue's
+	// publication ring and let the lock holder apply it before releasing
+	// (default off; resolved off in atomic mode).
+	WithCombining = core.WithCombining
 	// WithSeed fixes the random seed.
 	WithSeed = core.WithSeed
 	// WithAtomic enables the distributionally linearizable mode.
