@@ -27,7 +27,8 @@ var hotPathAllocCoverage = map[string]string{
 	"powerchoice/internal/core.Handle.InsertBatch":          "powerchoice/internal/core.TestBatchOpsAllocationFree",
 	"powerchoice/internal/core.Handle.DeleteMinBatch":       "powerchoice/internal/core.TestBatchOpsAllocationFree",
 	"powerchoice/internal/core.Handle.DeleteMinBuffered":    "powerchoice/internal/core.TestBatchOpsAllocationFree",
-	"powerchoice/internal/core.MultiQueue.anyNonEmpty":      "powerchoice/internal/core.TestHandleOpsAllocationFree",
+	"powerchoice/internal/core.topology.anyNonEmpty":        "powerchoice/internal/core.TestHandleOpsAllocationFree",
+	"powerchoice/internal/core.selector.refresh":            "powerchoice/internal/core.TestHandleOpsAllocationFree",
 	"powerchoice/internal/core.lockedQueue.push":            "powerchoice/internal/core.TestHandleOpsAllocationFree",
 	"powerchoice/internal/core.lockedQueue.pushBatch":       "powerchoice/internal/core.TestBatchOpsAllocationFree",
 	"powerchoice/internal/core.lockedQueue.popMin":          "powerchoice/internal/core.TestHandleOpsAllocationFree",

@@ -8,6 +8,7 @@ import (
 
 	"powerchoice/internal/bench"
 	"powerchoice/internal/pqadapt"
+	"powerchoice/internal/sched"
 	"powerchoice/internal/workload"
 )
 
@@ -38,6 +39,12 @@ func runServe(args []string, stdout, stderr io.Writer) error {
 	shards := fs.Int("shards", 0, "split MultiQueue queues into g contiguous shards with round-robin handle homes (0 = unsharded)")
 	localBias := fs.Float64("localbias", 0, "probability a sharded handle samples within its home shard")
 	batch := fs.Int("batch", 0, "executor bulk-operation size k (0/1 = unbatched)")
+	elastic := fs.Bool("elastic", false, "arm the sampler-driven resize controller on MultiQueue implementations (grow/shrink the queue count with the sampled backlog)")
+	qmin := fs.Int("qmin", 0, "elastic: minimum queue count (0 = the initial count; shrinking disabled)")
+	qmax := fs.Int("qmax", 0, "elastic: maximum queue count (0 = the initial count; growing disabled)")
+	hiWater := fs.Float64("hiwater", 0, "elastic: mean backlog per queue above which the topology grows (0 = default 8)")
+	loWater := fs.Float64("lowater", 0, "elastic: mean backlog per queue below which the topology shrinks (0 = default 1)")
+	window := fs.Int("window", 0, "elastic: consecutive out-of-band samples required to trigger a resize (0 = default 3)")
 	seed := fs.Uint64("seed", 42, "root random seed")
 	var out output
 	out.addFlags(fs)
@@ -81,7 +88,15 @@ func runServe(args []string, stdout, stderr io.Writer) error {
 				Threads:     th,
 				Batch:       *batch,
 				Deadline:    *deadline,
-				Seed:        *seed,
+				Elastic: sched.ElasticConfig{
+					Enable:    *elastic,
+					MinQueues: *qmin,
+					MaxQueues: *qmax,
+					HighWater: *hiWater,
+					LowWater:  *loWater,
+					Window:    *window,
+				},
+				Seed: *seed,
 			})
 			if err != nil {
 				return err
@@ -95,6 +110,7 @@ func runServe(args []string, stdout, stderr io.Writer) error {
 				InvWaiting: res.InvWaiting, BufferedPops: res.BufferedPops,
 				Rho: res.Rho, Rate: res.OfferedRate, QLenMean: res.QLenMean,
 				Workload: res.Workload, TraceHash: res.TraceHash,
+				Epochs: res.Epochs, Resizes: res.Resizes, FinalQueues: res.FinalQueues,
 			}
 			sum.SetTopology(res.Topology)
 			rep.Add(sum)
@@ -113,8 +129,12 @@ func runServe(args []string, stdout, stderr io.Writer) error {
 				row.SetTopology(res.Topology)
 				rep.Add(row)
 			}
-			fmt.Fprintf(stderr, "done: %-12s threads=%-3d rho=%.2f %v (%d injected, %d inversions)\n",
-				impl, th, res.Rho, res.Elapsed.Round(time.Millisecond), res.Injected, res.Inversions)
+			elasticNote := ""
+			if res.FinalQueues > 0 {
+				elasticNote = fmt.Sprintf(", elastic: %d resizes -> %d queues", res.Resizes, res.FinalQueues)
+			}
+			fmt.Fprintf(stderr, "done: %-12s threads=%-3d rho=%.2f %v (%d injected, %d inversions%s)\n",
+				impl, th, res.Rho, res.Elapsed.Round(time.Millisecond), res.Injected, res.Inversions, elasticNote)
 		}
 	}
 	return out.emit(stdout, tb, rep)

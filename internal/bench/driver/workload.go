@@ -85,6 +85,8 @@ func runReplay(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("powerbench replay", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	tracePath := fs.String("trace", "", "trace file to replay (required)")
+	scaleRate := fs.Float64("scale-rate", 0, "replay the trace with arrivals compressed/stretched by this factor (>1 = higher load; 0 = off)")
+	thin := fs.Float64("thin", 0, "replay a deterministic subsample keeping each job with this probability (0 = off)")
 	producers := fs.Int("producers", 1, "arrival goroutines pacing the trace schedule")
 	threadsFlag := fs.String("threads", defaultThreads(), "comma-separated serving worker counts")
 	implsFlag := fs.String("impls", allImpls(), "comma-separated implementations")
@@ -109,6 +111,21 @@ func runReplay(args []string, stdout, stderr io.Writer) error {
 	tr, err := workload.ReadTraceFile(*tracePath)
 	if err != nil {
 		return err
+	}
+	// Transform order: thin first, then scale — thinning draws one coin per
+	// original job (so subsamples of the same trace nest regardless of the
+	// scale), and scaling the survivors' schedule preserves that identity.
+	if *thin > 0 {
+		if tr, err = tr.Thin(*thin); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "thinned to %d arrivals (p=%.3g)\n", tr.Jobs(), *thin)
+	}
+	if *scaleRate > 0 {
+		if tr, err = tr.ScaleRate(*scaleRate); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "rate scaled by %.3g to %.0f jobs/s\n", *scaleRate, tr.Rate)
 	}
 	fmt.Fprintf(stderr, "replaying %d arrivals of %q at %.0f jobs/s\n",
 		tr.Jobs(), tr.Spec.Name, tr.Rate)

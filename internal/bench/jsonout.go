@@ -148,6 +148,16 @@ type Row struct {
 	CombinedOps  int64 `json:"combined_ops,omitempty"`
 	CombineWaits int64 `json:"combine_waits,omitempty"`
 
+	// Elastic-topology accounting (powerbench serve -elastic). Epochs is the
+	// queue's final topology version, Resizes the number of reconfigurations
+	// during the run, FinalQueues the queue count the controller left the
+	// structure at (non-zero whenever the controller was armed, even if it
+	// never fired). All absent on fixed-topology rows, which therefore stay
+	// byte-comparable with earlier BENCH_*.json files (EXPERIMENTS.md).
+	Epochs      uint64 `json:"epochs,omitempty"`
+	Resizes     int64  `json:"resizes,omitempty"`
+	FinalQueues int    `json:"final_queues,omitempty"`
+
 	// Budget metrics (powerbench budget). Component names a measured
 	// decomposition row ("sample", "lock", "heap", "stats", "residual",
 	// "total") with its median-of-N NsPerOp and Share of the measured total,

@@ -6,6 +6,7 @@ import (
 
 	"powerchoice/internal/jobs"
 	"powerchoice/internal/pqadapt"
+	"powerchoice/internal/sched"
 	"powerchoice/internal/workload"
 )
 
@@ -56,6 +57,11 @@ type ServeSpec struct {
 	Batch int
 	// Deadline optionally caps the injection window.
 	Deadline time.Duration
+	// Elastic arms the sampler-driven resize controller on the serving queue
+	// (sched.ElasticConfig): the topology grows/shrinks with the sampled
+	// backlog between MinQueues and MaxQueues. MultiQueue implementations
+	// only — Serve rejects the combination otherwise.
+	Elastic sched.ElasticConfig
 	// Seed fixes workload and interarrival randomness.
 	Seed uint64
 }
@@ -99,8 +105,17 @@ type ServeResult struct {
 	Trace *workload.Trace
 	// SpinNsPerUnit is the calibrated spin-unit cost used for ρ↔λ.
 	SpinNsPerUnit float64
-	// Topology records what the measured queue resolved to.
+	// Topology records what the measured queue resolved to (its
+	// construction-time shape; see FinalQueues for where a resize left it).
 	Topology pqadapt.Topology
+	// Elastic accounting, meaningful only when the controller was armed:
+	// Resizes counts reconfigurations during the run, Epochs is the final
+	// topology version, FinalQueues the final queue count (always non-zero
+	// when armed, so "armed but stable" is distinguishable from "not
+	// elastic").
+	Resizes     int64
+	Epochs      uint64
+	FinalQueues int
 }
 
 // ResolveTrace compiles the spec's workload into the trace Serve would run:
@@ -155,6 +170,7 @@ func Serve(spec ServeSpec) (ServeResult, error) {
 		Rho:         spec.Rho,
 		Producers:   spec.Producers,
 		Deadline:    spec.Deadline,
+		Elastic:     spec.Elastic,
 		Seed:        spec.Seed,
 	}, q, spec.Threads, spec.Batch)
 	if err != nil {
@@ -175,6 +191,9 @@ func Serve(spec ServeSpec) (ServeResult, error) {
 		PerClass:      res.PerClass,
 		SpinNsPerUnit: res.SpinNsPerUnit,
 		Topology:      topology,
+		Resizes:       res.Stats.Resizes,
+		Epochs:        res.Stats.Epochs,
+		FinalQueues:   res.Stats.FinalQueues,
 	}
 	if tr != nil {
 		out.Workload = tr.Spec.Name

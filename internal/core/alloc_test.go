@@ -151,7 +151,7 @@ func TestCombiningOpsAllocationFree(t *testing.T) {
 		h.Insert(rng.Uint64()>>1, 0)
 	})
 	s := &h.sel
-	q := &mq.queues[0]
+	q := mq.snapshot().queues[0]
 	assertZeroAllocs(t, "tryCombineInsert+tryCombineDelete", func() {
 		s.pubKey, s.pubVal = rng.Uint64()>>1, 0
 		if !s.tryCombineInsert(q) {

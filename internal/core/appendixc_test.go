@@ -20,10 +20,10 @@ func TestAppendixCStalledLockHolderDegradesRank(t *testing.T) {
 		if stallTwoQueues {
 			// Simulate Appendix C's hung process holding two queue locks.
 			var n0, n1 qnode
-			mq.queues[0].lock.Lock(&n0)
-			mq.queues[1].lock.Lock(&n1)
-			defer mq.queues[0].lock.Unlock()
-			defer mq.queues[1].lock.Unlock()
+			mq.snapshot().queues[0].lock.Lock(&n0)
+			mq.snapshot().queues[1].lock.Lock(&n1)
+			defer mq.snapshot().queues[0].lock.Unlock()
+			defer mq.snapshot().queues[1].lock.Unlock()
 		}
 		present := make([]bool, m)
 		for i := range present {

@@ -47,6 +47,7 @@ func (h *Handle[V]) InsertBatch(keys []uint64, vals []V) {
 	mq := h.mq
 	if mq.atomic {
 		mq.globalMu.Lock()
+		h.sel.refresh()
 		q := h.sel.sampleInsertQueue()
 		q.pushBatch(keys, vals)
 		mq.globalMu.Unlock()

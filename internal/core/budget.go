@@ -84,7 +84,7 @@ func BudgetProbes(queues, prefill int, seed uint64) ([]BudgetProbe, error) {
 			Doc:  "two uncontended TryLock acquisitions + combining-aware releases",
 			New: func() func(int) {
 				mq, _, _ := prefilled()
-				q := &mq.queues[0]
+				q := mq.snapshot().queues[0]
 				return func(iters int) {
 					for i := 0; i < iters; i++ {
 						if q.lock.TryLock() {
@@ -102,7 +102,7 @@ func BudgetProbes(queues, prefill int, seed uint64) ([]BudgetProbe, error) {
 			Doc:  "locked-queue push + popMin pair, including cached top/count upkeep",
 			New: func() func(int) {
 				mq, _, rng := prefilled()
-				q := &mq.queues[0]
+				q := mq.snapshot().queues[0]
 				// The total probe's prefill spreads over all queues; give this
 				// single queue the same occupancy the pair's pops see.
 				for q.count < int64(prefill/queues) {

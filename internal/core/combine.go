@@ -108,14 +108,22 @@ func (q *lockedQueue[V]) drainCombined() {
 // unlock releases q after an operation. With combining enabled it first
 // applies every op published while the caller held the lock — the combining
 // drain — so a publisher waits at most one critical section plus the drain.
-// All non-atomic-mode release sites go through here; without combining it
-// is one nil check on top of the store.
+// On a queue retired by Resize (closed) it then moves every element still
+// present into live queues (drainRetired): the combining drain runs first so
+// published inserts are materialised before the move, and the holder-side
+// placement means a stale insert that lands on a retired queue is recovered
+// by its own release — exact-once with no insert-side topology check. All
+// non-atomic-mode release sites go through here; without combining or resize
+// it is two nil/bool checks on top of the store.
 //
 //powervet:hotpath
 //powervet:unlocks recv.lock
 func (q *lockedQueue[V]) unlock() {
 	if q.comb != nil {
 		q.drainCombined()
+	}
+	if q.closed {
+		q.drainRetired()
 	}
 	q.lock.Unlock()
 }

@@ -18,8 +18,10 @@
 package core
 
 import (
+	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"powerchoice/internal/pqueue"
 	"powerchoice/internal/xrand"
@@ -41,20 +43,55 @@ const emptyTop = math.MaxUint64
 // emptiness — the structure deliberately has no global counter, which would
 // serialise all operations on one cache line).
 type MultiQueue[V any] struct {
-	queues     []lockedQueue[V]
+	// topo is the current topology snapshot: the queue set, shard count and
+	// epoch every operation resolves through (see topology). Replaced
+	// wholesale by Resize; hot paths load it once per operation.
+	topo       atomic.Pointer[topology[V]]
 	beta       float64
 	choices    int
 	stickiness int
-	shards     int
 	localBias  float64
 	atomic     bool
 	combining  bool
+	heapKind   pqueue.Kind
 	resolved   Config
 
 	globalMu sync.Mutex // used only in atomic mode
 	handles  sync.Pool
 	sharded  *xrand.Sharded
 	hseq     atomicInt64
+	// resizeMu serialises Resize; resizes counts completed reconfigurations.
+	resizeMu sync.Mutex
+	resizes  atomicInt64
+	// drainSeq round-robins retired-queue drain batches over live queues so a
+	// shrink spreads the moved elements instead of piling them on one heap.
+	drainSeq atomicInt64
+}
+
+// topology is an immutable, versioned snapshot of the MultiQueue's queue
+// set: the queues themselves, the shard partition over them, the locality
+// bias, and the epoch that versions the whole tuple. A snapshot is never
+// mutated after publication — Resize builds a fresh one (surviving queues
+// keep their identity as pointers) and swaps the atomic pointer, so a hot
+// path that loaded a snapshot works against a consistent topology for the
+// whole operation, and an epoch comparison is one pointer compare.
+type topology[V any] struct {
+	queues    []*lockedQueue[V]
+	shards    int
+	localBias float64
+	epoch     uint64
+}
+
+// anyNonEmpty sweeps the snapshot's cached tops for a non-empty queue.
+//
+//powervet:hotpath
+func (t *topology[V]) anyNonEmpty() bool {
+	for _, q := range t.queues {
+		if q.top.Load() != emptyTop {
+			return true
+		}
+	}
+	return false
 }
 
 // lockedQueue is one sequential heap with its try-lock, cached top, and
@@ -72,15 +109,15 @@ type MultiQueue[V any] struct {
 // separately allocated heap header. Non-default kinds keep the interface
 // path via heap; every access site dispatches on heap == nil.
 //
-// The payload is 104 bytes (lock 16: word 4 + align 4 + MCS tail 8, top 8,
-// count 8, dary split-slice headers 48, heap interface 16, comb pointer 8);
-// the pad brings the size to 128 — a multiple of two 64-byte cache lines, so
-// adjacent mq.queues elements never share a line and the adjacent-line
-// prefetcher cannot couple them either. The hot words every operation
-// touches (lock word, top, count) sit in the first 64 bytes. A 72-byte
-// version of this struct once left every element straddling lines with its
-// neighbours despite this comment claiming otherwise;
-// TestLockedQueuePaddedToCacheLinePair pins the layout.
+// The payload is 113 bytes (lock 16: word 4 + align 4 + MCS tail 8, top 8,
+// count 8, dary split-slice headers 48, heap interface 16, comb pointer 8,
+// mq back-pointer 8, closed 1); the pad brings the size to 128 — a multiple
+// of two 64-byte cache lines, so adjacent queues in a topology's backing
+// array never share a line and the adjacent-line prefetcher cannot couple
+// them either. The hot words every operation touches (lock word, top, count)
+// sit in the first 64 bytes. A 72-byte version of this struct once left
+// every element straddling lines with its neighbours despite this comment
+// claiming otherwise; TestLockedQueuePaddedToCacheLinePair pins the layout.
 //
 //powervet:cacheline=128
 type lockedQueue[V any] struct {
@@ -92,7 +129,16 @@ type lockedQueue[V any] struct {
 	// comb is the flat-combining publication ring, nil unless WithCombining.
 	// Set at construction, read-only afterwards.
 	comb *combineRing[V]
-	_    [24]byte // pad the 104-byte payload to 128 bytes
+	// mq points back to the owning MultiQueue so a retired queue's unlock
+	// hook can reach the live snapshot to drain into. Set at construction,
+	// read-only afterwards.
+	mq *MultiQueue[V]
+	// closed marks a queue retired by Resize: it is out of the current
+	// snapshot, and whoever holds its lock moves every element it still
+	// carries into live queues before releasing (see unlock/drainRetired).
+	// Guarded by lock (globalMu in atomic mode).
+	closed bool
+	_      [15]byte // pad the 113-byte payload to 128 bytes
 }
 
 // Config reports the topology and parameters a MultiQueue actually resolved
@@ -143,14 +189,13 @@ func New[V any](opts ...Option) (*MultiQueue[V], error) {
 		return nil, err
 	}
 	mq := &MultiQueue[V]{
-		queues:     make([]lockedQueue[V], cfg.queues),
 		beta:       cfg.beta,
 		choices:    cfg.choices,
 		stickiness: cfg.stickiness,
-		shards:     cfg.shards,
 		localBias:  cfg.localBias,
 		atomic:     cfg.atomicMode,
 		combining:  cfg.combining,
+		heapKind:   cfg.heapKind,
 		resolved: Config{
 			Queues:        cfg.queues,
 			Choices:       cfg.choices,
@@ -168,32 +213,63 @@ func New[V any](opts ...Option) (*MultiQueue[V], error) {
 		//powervet:allow rngtag the MultiQueue is the designated owner of the raw root family at Config.Seed; harnesses must Tag away from it (tagging here would silently reseed every pinned stream)
 		sharded: xrand.NewSharded(cfg.seed),
 	}
-	for i := range mq.queues {
-		if cfg.heapKind != pqueue.KindDAry {
-			// Non-default kinds go through the interface; the default 4-ary
-			// heap lives inline in lockedQueue.dary (see lockedQueue).
-			mq.queues[i].heap = pqueue.New[V](cfg.heapKind)
-		}
-		mq.queues[i].top.Store(emptyTop)
-	}
-	if cfg.combining {
-		// One backing array for all rings: slots are individually padded, so
-		// contiguity costs nothing and saves n-1 allocations.
-		rings := make([]combineRing[V], cfg.queues)
-		for i := range mq.queues {
-			mq.queues[i].comb = &rings[i]
-		}
-	}
+	mq.topo.Store(&topology[V]{
+		queues:    mq.makeQueues(cfg.queues),
+		shards:    cfg.shards,
+		localBias: cfg.localBias,
+		epoch:     0,
+	})
 	mq.handles.New = func() any { return mq.newHandle() }
 	return mq, nil
 }
 
-// NumQueues returns n, the number of internal queues.
-func (mq *MultiQueue[V]) NumQueues() int { return len(mq.queues) }
+// makeQueues allocates n fresh empty queues in one contiguous backing array
+// (with their combining rings, when armed), returned as pointers so a later
+// snapshot can mix them with surviving queues without copying lock state.
+func (mq *MultiQueue[V]) makeQueues(n int) []*lockedQueue[V] {
+	arr := make([]lockedQueue[V], n)
+	var rings []combineRing[V]
+	if mq.combining {
+		// One backing array for all rings: slots are individually padded, so
+		// contiguity costs nothing and saves n-1 allocations.
+		rings = make([]combineRing[V], n)
+	}
+	qs := make([]*lockedQueue[V], n)
+	for i := range arr {
+		q := &arr[i]
+		if mq.heapKind != pqueue.KindDAry {
+			// Non-default kinds go through the interface; the default 4-ary
+			// heap lives inline in lockedQueue.dary (see lockedQueue).
+			q.heap = pqueue.New[V](mq.heapKind)
+		}
+		q.top.Store(emptyTop)
+		if rings != nil {
+			q.comb = &rings[i]
+		}
+		q.mq = mq
+		qs[i] = q
+	}
+	return qs
+}
+
+// snapshot returns the current topology. Tests and cold paths use it; hot
+// paths load through the selector, which also tracks epoch changes.
+func (mq *MultiQueue[V]) snapshot() *topology[V] { return mq.topo.Load() }
+
+// NumQueues returns n, the number of internal queues in the live snapshot.
+func (mq *MultiQueue[V]) NumQueues() int { return len(mq.topo.Load().queues) }
 
 // Config returns the fully resolved configuration this MultiQueue runs
-// with, including values that were derived rather than requested.
-func (mq *MultiQueue[V]) Config() Config { return mq.resolved }
+// with, including values that were derived rather than requested. Queues and
+// Shards report the live snapshot, so after a Resize the Config reflects the
+// topology operations actually run against, not the construction-time one.
+func (mq *MultiQueue[V]) Config() Config {
+	cfg := mq.resolved
+	t := mq.topo.Load()
+	cfg.Queues = len(t.queues)
+	cfg.Shards = t.shards
+	return cfg
+}
 
 // Beta returns the configured two-choice probability.
 func (mq *MultiQueue[V]) Beta() float64 { return mq.beta }
@@ -201,8 +277,16 @@ func (mq *MultiQueue[V]) Beta() float64 { return mq.beta }
 // Choices returns d, the number of queues sampled per choice-deletion.
 func (mq *MultiQueue[V]) Choices() int { return mq.choices }
 
-// Shards returns the resolved shard count g (1 = unsharded).
-func (mq *MultiQueue[V]) Shards() int { return mq.shards }
+// Shards returns the live snapshot's shard count g (1 = unsharded).
+func (mq *MultiQueue[V]) Shards() int { return mq.topo.Load().shards }
+
+// Epoch returns the live snapshot's epoch: 0 at construction, +1 per
+// completed Resize. Handles re-pin their home shards and drop sticky streaks
+// when they observe a new epoch.
+func (mq *MultiQueue[V]) Epoch() uint64 { return mq.topo.Load().epoch }
+
+// Resizes returns the number of completed Resize calls.
+func (mq *MultiQueue[V]) Resizes() int64 { return mq.resizes.Load() }
 
 // Len returns the number of elements present. It reads each queue's count
 // under that queue's lock (the count is lock-guarded so the hot paths can
@@ -212,22 +296,172 @@ func (mq *MultiQueue[V]) Shards() int { return mq.shards }
 // contends each queue lock; it is not for hot paths.
 func (mq *MultiQueue[V]) Len() int {
 	var total int64
+	t := mq.topo.Load()
 	if mq.atomic {
 		mq.globalMu.Lock()
-		for i := range mq.queues {
-			total += mq.queues[i].count
+		for _, q := range t.queues {
+			total += q.count
 		}
 		mq.globalMu.Unlock()
 		return int(total)
 	}
 	var n qnode
-	for i := range mq.queues {
-		q := &mq.queues[i]
+	for _, q := range t.queues {
 		q.lock.Lock(&n)
 		total += q.count
 		q.lock.Unlock()
 	}
 	return int(total)
+}
+
+// Resize installs a new topology snapshot with the given queue and shard
+// counts, online: operations keep running while the epoch turns over. shards
+// <= 0 keeps the current shard count; either way the count is re-clamped so
+// every shard keeps at least Choices queues (the WithShards rule). Growing
+// appends fresh empty queues; shrinking retires the topology's tail —
+// retired queues are marked closed-for-insert under their own lock and
+// drained into surviving queues by the unlock hook (the same holder-side
+// seam the flat-combining drain uses), so every element an in-flight
+// operation lands on a retired queue is moved exactly once by whoever holds
+// that lock last. Resize returns only after every retired queue has drained
+// to zero.
+//
+// Concurrent Resize calls serialise on an internal mutex. The queue count
+// must stay >= Choices (the d-choice sample needs d distinct queues).
+// Operations that raced the swap may briefly work against the previous
+// snapshot: inserts there are recovered by the drain, and a DeleteMin
+// sweeping a stale, fully-drained snapshot can report empty once — the same
+// relaxed-emptiness caveat concurrent inserts already carry.
+func (mq *MultiQueue[V]) Resize(queues, shards int) error {
+	if queues < 1 {
+		return fmt.Errorf("core: resize to %d queues; need at least one", queues)
+	}
+	if queues < mq.choices {
+		return fmt.Errorf("core: resize to %d queues below choices %d", queues, mq.choices)
+	}
+	mq.resizeMu.Lock()
+	err := mq.resizeLocked(queues, shards)
+	mq.resizeMu.Unlock()
+	return err
+}
+
+// resizeLocked is Resize's body, run with resizeMu held (kept in its own
+// function so the per-queue retire locking below is not nested inside a held
+// mutex scope — the drain's lock order is retired → live only, and resizeMu
+// serialises closers, so only the latest snapshot's queues are ever live).
+func (mq *MultiQueue[V]) resizeLocked(queues, shards int) error {
+	old := mq.topo.Load()
+	if shards <= 0 {
+		shards = old.shards
+	}
+	if maxShards := queues / mq.choices; shards > maxShards {
+		shards = maxShards
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	if queues == len(old.queues) && shards == old.shards {
+		return nil
+	}
+	keep := len(old.queues)
+	if queues < keep {
+		keep = queues
+	}
+	nq := make([]*lockedQueue[V], queues)
+	copy(nq, old.queues[:keep])
+	if queues > keep {
+		copy(nq[keep:], mq.makeQueues(queues-keep))
+	}
+	nt := &topology[V]{
+		queues:    nq,
+		shards:    shards,
+		localBias: old.localBias,
+		epoch:     old.epoch + 1,
+	}
+	retired := old.queues[keep:]
+	if mq.atomic {
+		// Atomic mode: the global lock covers every queue, so the swap, the
+		// closing and the drain are one critical section — no operation can
+		// observe a retired queue at all.
+		mq.globalMu.Lock()
+		mq.topo.Store(nt)
+		var keys [drainBatch]uint64
+		var vals [drainBatch]V
+		for _, q := range retired {
+			q.closed = true
+			for {
+				n := q.popBatch(keys[:], vals[:], drainBatch)
+				if n == 0 {
+					break
+				}
+				i := int(uint64(mq.drainSeq.Add(1)) % uint64(len(nt.queues)))
+				nt.queues[i].pushBatch(keys[:n], vals[:n])
+			}
+		}
+		mq.globalMu.Unlock()
+		mq.resizes.Add(1)
+		return nil
+	}
+	// Publish the snapshot first, then retire: after the swap no sample can
+	// pick a retired queue from the live topology, and closing under each
+	// queue's lock hands the drain to the unlock hook. A racing stale-snapshot
+	// insert that lands on a retired queue after this loop is recovered by its
+	// own unlock (closed stays set forever), so exact-once holds without an
+	// insert-side check.
+	mq.topo.Store(nt)
+	for _, q := range retired {
+		var n qnode
+		q.lock.Lock(&n)
+		q.closed = true
+		q.unlock()
+	}
+	mq.resizes.Add(1)
+	return nil
+}
+
+// drainBatch is the number of elements a retired-queue drain moves per
+// target-queue acquisition.
+const drainBatch = 64
+
+// drainRetired moves every element left in the closed queue q into live
+// queues of the current snapshot. Called by unlock with q.lock held; cold by
+// construction (a queue is closed at most once, and stale traffic onto it
+// dies off with the old snapshot), so the stack buffers and blocking target
+// acquisition below stay off the hot path.
+func (q *lockedQueue[V]) drainRetired() {
+	var keys [drainBatch]uint64
+	var vals [drainBatch]V
+	for {
+		n := q.popBatch(keys[:], vals[:], drainBatch)
+		if n == 0 {
+			return
+		}
+		q.mq.drainInto(keys[:n], vals[:n])
+	}
+}
+
+// drainInto pushes one drain batch into a live queue, round-robin over the
+// current snapshot. The target is re-checked under its lock: it can only be
+// closed if a newer Resize retired it between the snapshot load and the
+// acquisition, in which case the fresh load of the retry sees the newer
+// snapshot (whose queues are never closed — closing happens under resizeMu
+// strictly after the next snapshot publishes). The caller holds a retired
+// queue's lock, so the acquisition order is retired → live only — acyclic.
+func (mq *MultiQueue[V]) drainInto(keys []uint64, vals []V) {
+	var n qnode
+	for {
+		t := mq.topo.Load()
+		d := t.queues[int(uint64(mq.drainSeq.Add(1))%uint64(len(t.queues)))]
+		//powervet:allow lockscope retired-to-live drain edge: the caller holds only a closed queue's lock and live queues never wait on closed ones, so the order is acyclic
+		d.lock.Lock(&n)
+		if d.closed {
+			d.lock.Unlock()
+			continue
+		}
+		d.pushBatch(keys, vals)
+		d.unlock()
+		return
+	}
 }
 
 // Insert adds an element using a pooled handle. Hot paths should hold a

@@ -88,6 +88,7 @@ func (h *Handle[V]) Insert(key uint64, value V) {
 	mq := h.mq
 	if mq.atomic {
 		mq.globalMu.Lock()
+		h.sel.refresh()
 		q := h.sel.sampleInsertQueue()
 		q.push(key, value)
 		mq.globalMu.Unlock()
@@ -152,16 +153,4 @@ func (h *Handle[V]) DeleteMin() (uint64, V, bool) {
 	q.unlock()
 	h.deletes++
 	return it.Key, it.Value, true
-}
-
-// anyNonEmpty sweeps the cached tops for a non-empty queue.
-//
-//powervet:hotpath
-func (mq *MultiQueue[V]) anyNonEmpty() bool {
-	for i := range mq.queues {
-		if mq.queues[i].top.Load() != emptyTop {
-			return true
-		}
-	}
-	return false
 }

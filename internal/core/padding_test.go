@@ -7,7 +7,7 @@ import (
 	"powerchoice/internal/analysis"
 )
 
-// TestLockedQueuePaddedToCacheLinePair: each element of mq.queues must
+// TestLockedQueuePaddedToCacheLinePair: each queue in a topology snapshot must
 // occupy its own cache-line multiple — two lines by default, so neither
 // direct false sharing nor the adjacent-cache-line prefetcher couples
 // neighbouring queues' hot words (lock, cached top, count). The expected

@@ -87,9 +87,9 @@ func TestSingleAndBatchObstacleAccountingParity(t *testing.T) {
 		{
 			name: "no obstacle, sticky streak runs",
 			arrange: func(mq *MultiQueue[int], h *Handle[int]) func() {
-				mq.queues[0].push(7, 7)
-				mq.queues[0].push(8, 8)
-				h.sel.stickyDel = &mq.queues[0]
+				mq.snapshot().queues[0].push(7, 7)
+				mq.snapshot().queues[0].push(8, 8)
+				h.sel.stickyDel = mq.snapshot().queues[0]
 				h.sel.delLeft = 5
 				return nil
 			},
@@ -97,31 +97,31 @@ func TestSingleAndBatchObstacleAccountingParity(t *testing.T) {
 		{
 			name: "sticky lock contended",
 			arrange: func(mq *MultiQueue[int], h *Handle[int]) func() {
-				mq.queues[0].push(7, 7)
-				mq.queues[1].push(9, 9)
-				h.sel.stickyDel = &mq.queues[0]
+				mq.snapshot().queues[0].push(7, 7)
+				mq.snapshot().queues[1].push(9, 9)
+				h.sel.stickyDel = mq.snapshot().queues[0]
 				h.sel.delLeft = 5
-				if !mq.queues[0].lock.TryLock() {
+				if !mq.snapshot().queues[0].lock.TryLock() {
 					t.Fatal("could not contend queue 0")
 				}
-				return mq.queues[0].lock.Unlock
+				return mq.snapshot().queues[0].lock.Unlock
 			},
 		},
 		{
 			name: "sticky queue drained behind stale top",
 			arrange: func(mq *MultiQueue[int], h *Handle[int]) func() {
-				mq.queues[0].top.Store(3) // stale: heap actually empty
-				mq.queues[1].push(9, 9)
-				h.sel.stickyDel = &mq.queues[0]
+				mq.snapshot().queues[0].top.Store(3) // stale: heap actually empty
+				mq.snapshot().queues[1].push(9, 9)
+				h.sel.stickyDel = mq.snapshot().queues[0]
 				h.sel.delLeft = 5
-				return func() { mq.queues[0].top.Store(emptyTop) }
+				return func() { mq.snapshot().queues[0].top.Store(emptyTop) }
 			},
 		},
 		{
 			name: "sticky queue with empty cached top",
 			arrange: func(mq *MultiQueue[int], h *Handle[int]) func() {
-				mq.queues[1].push(9, 9)
-				h.sel.stickyDel = &mq.queues[0]
+				mq.snapshot().queues[1].push(9, 9)
+				h.sel.stickyDel = mq.snapshot().queues[0]
 				h.sel.delLeft = 5
 				return nil
 			},
@@ -148,7 +148,7 @@ func TestSingleAndBatchObstacleAccountingParity(t *testing.T) {
 		{
 			name: "no obstacle, sticky streak runs",
 			arrange: func(mq *MultiQueue[int], h *Handle[int]) func() {
-				h.sel.stickyIns = &mq.queues[0]
+				h.sel.stickyIns = mq.snapshot().queues[0]
 				h.sel.insLeft = 5
 				return nil
 			},
@@ -156,12 +156,12 @@ func TestSingleAndBatchObstacleAccountingParity(t *testing.T) {
 		{
 			name: "sticky lock contended",
 			arrange: func(mq *MultiQueue[int], h *Handle[int]) func() {
-				h.sel.stickyIns = &mq.queues[0]
+				h.sel.stickyIns = mq.snapshot().queues[0]
 				h.sel.insLeft = 5
-				if !mq.queues[0].lock.TryLock() {
+				if !mq.snapshot().queues[0].lock.TryLock() {
 					t.Fatal("could not contend queue 0")
 				}
-				return mq.queues[0].lock.Unlock
+				return mq.snapshot().queues[0].lock.Unlock
 			},
 		},
 	}
@@ -379,9 +379,9 @@ func TestParityStreakSurvivesSuccess(t *testing.T) {
 	for _, batched := range []bool{false, true} {
 		mq := mustNew[int](t, WithQueues(4), WithStickiness(16), WithSeed(69))
 		h := mq.Handle()
-		mq.queues[0].push(7, 7)
-		mq.queues[0].push(8, 8)
-		h.sel.stickyDel = &mq.queues[0]
+		mq.snapshot().queues[0].push(7, 7)
+		mq.snapshot().queues[0].push(8, 8)
+		h.sel.stickyDel = mq.snapshot().queues[0]
 		h.sel.delLeft = 5
 		if batched {
 			keys := make([]uint64, 1)
@@ -392,7 +392,7 @@ func TestParityStreakSurvivesSuccess(t *testing.T) {
 		} else if _, _, ok := h.DeleteMin(); !ok {
 			t.Fatal("pop failed")
 		}
-		if h.sel.stickyDel != &mq.queues[0] || h.sel.delLeft != 4 {
+		if h.sel.stickyDel != mq.snapshot().queues[0] || h.sel.delLeft != 4 {
 			t.Errorf("batched=%v: streak = (%p, %d), want (queue0, 4)",
 				batched, h.sel.stickyDel, h.sel.delLeft)
 		}

@@ -19,12 +19,22 @@ import (
 // the d-choice scratch buffer is sized at construction, and nothing here
 // closes over anything.
 type selector[V any] struct {
-	mq      *MultiQueue[V]
+	mq *MultiQueue[V]
+	// cur is the topology snapshot this handle's current operation resolves
+	// through: loaded once per operation (refresh), compared by pointer —
+	// snapshots are immutable, so a changed pointer is a changed epoch — and
+	// re-pinned on change (repin). Between operations it may go stale by at
+	// most one in-flight op's worth of work; the drain contract of Resize
+	// covers exactly that window.
+	cur     *topology[V]
 	rng     *xrand.Source
 	scratch []int // d-choice sample buffer, sized at construction (d > 2)
+	// id is the handle's 1-based creation index, kept for round-robin home
+	// re-pinning when the epoch turns over.
+	id int
 	// Home-shard scope: the contiguous queue range [homeLo, homeLo+homeN)
 	// this handle's scope-local samples draw from. Covers the whole
-	// structure when the MultiQueue is unsharded.
+	// structure when the snapshot is unsharded.
 	homeLo, homeN int
 	// Sticky state: remembered queues and remaining streak lengths (only
 	// used when the MultiQueue was built WithStickiness > 1).
@@ -63,34 +73,57 @@ type selector[V any] struct {
 // set of g or more handles covers every shard.
 func (s *selector[V]) init(mq *MultiQueue[V], id int) {
 	s.mq = mq
+	s.id = id
 	s.rng = mq.sharded.Source(id)
 	if mq.choices > 2 {
 		// Allocated here, not lazily on the d-choice hot path: sampling
 		// must stay allocation-free (TestHandleOpsAllocationFree).
 		s.scratch = make([]int, mq.choices)
 	}
-	n := len(mq.queues)
-	s.homeLo, s.homeN = 0, n
-	if mq.shards > 1 {
-		home := (id - 1) % mq.shards
-		lo := home * n / mq.shards
-		hi := (home + 1) * n / mq.shards
-		s.homeLo, s.homeN = lo, hi-lo
+	s.repin(mq.topo.Load())
+}
+
+// refresh loads the live topology snapshot at the top of an operation. The
+// steady-state cost is one atomic pointer load and one compare; only an
+// epoch change (a completed Resize) takes the repin path.
+//
+//powervet:hotpath
+func (s *selector[V]) refresh() {
+	if t := s.mq.topo.Load(); t != s.cur {
+		s.repin(t)
 	}
 }
 
+// repin adopts a topology snapshot: re-pin the home shard round-robin by
+// handle id against the snapshot's shard partition, and drop both sticky
+// streaks — a remembered queue may have been retired with the old epoch.
+// Cold: runs once per handle per Resize.
+func (s *selector[V]) repin(t *topology[V]) {
+	s.cur = t
+	n := len(t.queues)
+	s.homeLo, s.homeN = 0, n
+	if t.shards > 1 {
+		home := (s.id - 1) % t.shards
+		lo := home * n / t.shards
+		hi := (home + 1) * n / t.shards
+		s.homeLo, s.homeN = lo, hi-lo
+	}
+	s.stickyIns, s.insLeft = nil, 0
+	s.stickyDel, s.delLeft = nil, 0
+}
+
 // local flips the locality coin: true means this sample is scoped to the
-// handle's home shard. Unsharded structures (and a zero bias) never touch
+// handle's home shard. Unsharded snapshots (and a zero bias) never touch
 // the generator, so their draw sequences are bit-identical to the
 // pre-sharding code under a fixed seed.
 //
 //powervet:hotpath
 func (s *selector[V]) local() bool {
-	mq := s.mq
-	if mq.shards <= 1 || mq.localBias <= 0 {
+	t := s.cur
+	if t.shards <= 1 || t.localBias <= 0 {
 		return false
 	}
-	return mq.localBias >= 1 || s.rng.Float64() < mq.localBias
+	return t.localBias >= 1 || s.rng.Float64() < t.localBias
 }
 
 // sampleInsertQueue picks the uniformly random queue an insert-side
@@ -99,9 +132,9 @@ func (s *selector[V]) local() bool {
 //powervet:hotpath
 func (s *selector[V]) sampleInsertQueue() *lockedQueue[V] {
 	if s.local() {
-		return &s.mq.queues[s.homeLo+s.rng.Intn(s.homeN)]
+		return s.cur.queues[s.homeLo+s.rng.Intn(s.homeN)]
 	}
-	return &s.mq.queues[s.rng.Intn(len(s.mq.queues))]
+	return s.cur.queues[s.rng.Intn(len(s.cur.queues))]
 }
 
 // sampleDeleteQueue applies the (1+β) d-choice rule within the scope the
@@ -119,7 +152,7 @@ func (s *selector[V]) sampleDeleteQueue() *lockedQueue[V] {
 		}
 		s.emptyScans++
 	}
-	return s.sampleScoped(0, len(s.mq.queues))
+	return s.sampleScoped(0, len(s.cur.queues))
 }
 
 // sampleScoped samples queue(s) per the (1+β) d-choice rule from the
@@ -131,17 +164,18 @@ func (s *selector[V]) sampleDeleteQueue() *lockedQueue[V] {
 //powervet:hotpath
 func (s *selector[V]) sampleScoped(lo, n int) *lockedQueue[V] {
 	mq := s.mq
+	queues := s.cur.queues
 	useChoice := mq.choices >= 2 && (mq.beta >= 1 || s.rng.Float64() < mq.beta)
 	switch {
 	case !useChoice:
-		q := &mq.queues[lo+s.rng.Intn(n)]
+		q := queues[lo+s.rng.Intn(n)]
 		if q.top.Load() == emptyTop {
 			return nil
 		}
 		return q
 	case mq.choices == 2:
 		i, j := s.rng.TwoDistinct(n)
-		qi, qj := &mq.queues[lo+i], &mq.queues[lo+j]
+		qi, qj := queues[lo+i], queues[lo+j]
 		ti, tj := qi.top.Load(), qj.top.Load()
 		if ti == emptyTop && tj == emptyTop {
 			return nil
@@ -155,7 +189,7 @@ func (s *selector[V]) sampleScoped(lo, n int) *lockedQueue[V] {
 		var best *lockedQueue[V]
 		bestTop := uint64(emptyTop)
 		for _, i := range s.scratch {
-			q := &mq.queues[lo+i]
+			q := queues[lo+i]
 			if t := q.top.Load(); t < bestTop {
 				best, bestTop = q, t
 			}
@@ -216,6 +250,7 @@ func (s *selector[V]) takeCombined() (uint64, V, bool) {
 //powervet:hotpath
 //powervet:locks result.lock
 func (s *selector[V]) lockForInsert() *lockedQueue[V] {
+	s.refresh()
 	pub := s.pubIns
 	s.pubIns = false
 	if s.insLeft > 0 && s.stickyIns != nil {
@@ -364,6 +399,7 @@ func (s *selector[V]) tryCombineDelete(q *lockedQueue[V]) bool {
 //powervet:hotpath
 //powervet:locks result.lock
 func (s *selector[V]) lockNonEmptyQueue() *lockedQueue[V] {
+	s.refresh()
 	pub := s.pubDel
 	s.pubDel = false
 	if s.delLeft > 0 && s.stickyDel != nil {
@@ -394,9 +430,16 @@ func (s *selector[V]) lockNonEmptyQueue() *lockedQueue[V] {
 		q := s.sampleDeleteQueue()
 		if q == nil {
 			// All sampled tops empty: sweep every queue before declaring
-			// the structure empty.
+			// the structure empty. A Resize that swapped the topology
+			// mid-operation can make the *old* snapshot read empty while the
+			// drain moved everything to new queues — re-pin to the live
+			// snapshot before giving up.
 			s.emptyScans++
-			if !s.mq.anyNonEmpty() {
+			if t := s.mq.topo.Load(); t != s.cur {
+				s.repin(t)
+				continue
+			}
+			if !s.cur.anyNonEmpty() {
 				return nil
 			}
 			bo.Spin()
@@ -437,9 +480,13 @@ func (s *selector[V]) lockNonEmptyAtomic() *lockedQueue[V] {
 	var bo backoff.Spinner
 	for {
 		mq.globalMu.Lock()
+		// Refresh under the global lock: atomic-mode Resize swaps the
+		// snapshot while holding it, so the view adopted here is stable for
+		// the whole critical section.
+		s.refresh()
 		q := s.sampleDeleteQueue()
 		if q == nil {
-			empty := !mq.anyNonEmpty()
+			empty := !s.cur.anyNonEmpty()
 			mq.globalMu.Unlock()
 			s.emptyScans++
 			if empty {

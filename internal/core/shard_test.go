@@ -81,8 +81,8 @@ func TestLocalBiasPinsInsertsToHomeShard(t *testing.T) {
 		h.Insert(uint64(i), i)
 	}
 	var home, foreign int64
-	for i := range mq.queues {
-		if c := mq.queues[i].count; i < 2 {
+	for i := range mq.snapshot().queues {
+		if c := mq.snapshot().queues[i].count; i < 2 {
 			home += c
 		} else {
 			foreign += c

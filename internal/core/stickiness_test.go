@@ -74,8 +74,8 @@ func TestStickyInsertsLandOnOneQueue(t *testing.T) {
 		h.Insert(uint64(i), i)
 	}
 	nonEmpty := 0
-	for i := range mq.queues {
-		if mq.queues[i].count > 0 {
+	for i := range mq.snapshot().queues {
+		if mq.snapshot().queues[i].count > 0 {
 			nonEmpty++
 		}
 	}
@@ -92,15 +92,15 @@ func TestStickyDeleteCountsLockFail(t *testing.T) {
 	h := mq.Handle()
 	// Element in queue 0 (held) and queue 1 (free) so the slow path can
 	// finish the operation after the sticky path fails.
-	mq.queues[0].push(7, 7)
-	mq.queues[1].push(9, 9)
+	mq.snapshot().queues[0].push(7, 7)
+	mq.snapshot().queues[1].push(9, 9)
 	// Arm a delete streak on queue 0, then contend its lock.
-	h.sel.stickyDel = &mq.queues[0]
+	h.sel.stickyDel = mq.snapshot().queues[0]
 	h.sel.delLeft = 5
-	if !mq.queues[0].lock.TryLock() {
+	if !mq.snapshot().queues[0].lock.TryLock() {
 		t.Fatal("could not take queue 0's lock")
 	}
-	defer mq.queues[0].lock.Unlock()
+	defer mq.snapshot().queues[0].lock.Unlock()
 	before := h.Stats()
 	if _, _, ok := h.DeleteMin(); !ok {
 		t.Fatal("DeleteMin failed with an element available")
@@ -112,7 +112,7 @@ func TestStickyDeleteCountsLockFail(t *testing.T) {
 	}
 	// The old streak must be gone; the successful slow-path pop re-arms
 	// stickiness on the queue it actually drained.
-	if h.sel.stickyDel == &mq.queues[0] {
+	if h.sel.stickyDel == mq.snapshot().queues[0] {
 		t.Error("streak not broken by the failed try-lock")
 	}
 }
@@ -126,9 +126,9 @@ func TestStickyDeleteCountsEmptyScan(t *testing.T) {
 	// Queue 0: empty heap behind a stale non-empty cached top — the state
 	// a concurrent drainer leaves between the unsynchronised top read and
 	// the lock acquisition. Queue 1 holds a real element.
-	mq.queues[0].top.Store(3)
-	mq.queues[1].push(9, 9)
-	h.sel.stickyDel = &mq.queues[0]
+	mq.snapshot().queues[0].top.Store(3)
+	mq.snapshot().queues[1].push(9, 9)
+	h.sel.stickyDel = mq.snapshot().queues[0]
 	h.sel.delLeft = 5
 	before := h.Stats()
 	if _, _, ok := h.DeleteMin(); !ok {
@@ -139,7 +139,7 @@ func TestStickyDeleteCountsEmptyScan(t *testing.T) {
 		t.Errorf("sticky empty pop not counted: emptyScans %d -> %d",
 			before.EmptyScans, after.EmptyScans)
 	}
-	if h.sel.stickyDel == &mq.queues[0] {
+	if h.sel.stickyDel == mq.snapshot().queues[0] {
 		t.Error("streak not broken by the empty pop")
 	}
 }
@@ -155,8 +155,8 @@ func TestStickyDeleteCountsEmptyTop(t *testing.T) {
 	h := mq.Handle()
 	// Queue 0: genuinely empty (cached top = sentinel). Queue 1 holds a real
 	// element so the slow path can finish the operation.
-	mq.queues[1].push(9, 9)
-	h.sel.stickyDel = &mq.queues[0]
+	mq.snapshot().queues[1].push(9, 9)
+	h.sel.stickyDel = mq.snapshot().queues[0]
 	h.sel.delLeft = 5
 	before := h.Stats()
 	if _, _, ok := h.DeleteMin(); !ok {
@@ -167,7 +167,7 @@ func TestStickyDeleteCountsEmptyTop(t *testing.T) {
 		t.Errorf("sticky empty-top streak break not counted: emptyScans %d -> %d",
 			before.EmptyScans, after.EmptyScans)
 	}
-	if h.sel.stickyDel == &mq.queues[0] {
+	if h.sel.stickyDel == mq.snapshot().queues[0] {
 		t.Error("streak not broken by the empty cached top")
 	}
 }

@@ -60,6 +60,11 @@ type OpenSpec struct {
 	// at ~256 samples over the expected injection window (bounded by
 	// Deadline when that is shorter — see deriveSampleEvery).
 	SampleEvery time.Duration
+	// Elastic arms the executor's sampler-driven resize controller
+	// (sched.ElasticConfig). Requires a queue that supports online resize
+	// (sched.Resizable — the MultiQueue adapters); RunOpen rejects the
+	// combination otherwise rather than silently running fixed-topology.
+	Elastic sched.ElasticConfig
 	// Seed fixes workload and interarrival randomness.
 	Seed uint64
 }
@@ -175,6 +180,11 @@ func deriveSampleEvery(jobs int64, rate float64, deadline time.Duration) time.Du
 func RunOpen(spec OpenSpec, q sched.Queue[int32], workers, batch int) (OpenResult, error) {
 	if q == nil {
 		return OpenResult{}, fmt.Errorf("jobs: nil queue")
+	}
+	if spec.Elastic.Enable {
+		if _, ok := q.(sched.Resizable); !ok {
+			return OpenResult{}, fmt.Errorf("jobs: elastic topology requested but the queue does not support online resize")
+		}
 	}
 	if workers < 1 {
 		workers = 1
@@ -295,6 +305,7 @@ func RunOpen(spec OpenSpec, q sched.Queue[int32], workers, batch int) (OpenResul
 		Jobs:        int64(n),
 		Deadline:    spec.Deadline,
 		SampleEvery: sampleEvery,
+		Elastic:     spec.Elastic,
 		Seed:        spec.Seed,
 	}
 	if openCfgFns != nil {

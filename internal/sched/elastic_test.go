@@ -1,0 +1,147 @@
+package sched
+
+import (
+	"fmt"
+	"testing"
+)
+
+// fakeResizable is a scripted Resizable: it tracks the queue count and
+// resize/epoch accounting without any real queues, and can be told to reject
+// shrinks below a floor (the d-choice constraint core enforces).
+type fakeResizable struct {
+	n       int
+	floor   int
+	epoch   uint64
+	resizes int64
+	history []int
+}
+
+func (f *fakeResizable) NumQueues() int { return f.n }
+func (f *fakeResizable) Epoch() uint64  { return f.epoch }
+func (f *fakeResizable) Resizes() int64 { return f.resizes }
+func (f *fakeResizable) Resize(queues, shards int) error {
+	if queues < f.floor {
+		return fmt.Errorf("fake: %d below floor %d", queues, f.floor)
+	}
+	f.n = queues
+	f.epoch++
+	f.resizes++
+	f.history = append(f.history, queues)
+	return nil
+}
+
+// TestElasticControllerGrowShrink scripts a backlog surge and a drain through
+// the control law and pins the resulting resize sequence: double after Window
+// consecutive high samples, halve after Window consecutive low ones, both
+// clamped to the configured range, with streaks reset by in-band samples.
+func TestElasticControllerGrowShrink(t *testing.T) {
+	r := &fakeResizable{n: 4, floor: 2}
+	c := newElasticController(r, ElasticConfig{
+		Enable:    true,
+		MinQueues: 4,
+		MaxQueues: 32,
+		HighWater: 8,
+		LowWater:  1,
+		Window:    3,
+	})
+	// Two high samples then one in-band: the streak must reset, no resize.
+	c.observe(100) // backlog 25 > 8
+	c.observe(100)
+	c.observe(20) // backlog 5: in-band
+	if r.resizes != 0 {
+		t.Fatalf("resize fired after an interrupted streak (history %v)", r.history)
+	}
+	// A full window of high samples: grow 4 -> 8.
+	c.observe(100)
+	c.observe(100)
+	c.observe(100)
+	if r.n != 8 {
+		t.Fatalf("after grow window: %d queues, want 8 (history %v)", r.n, r.history)
+	}
+	// The streak reset after the resize: two more high samples must not fire.
+	c.observe(100)
+	c.observe(100)
+	if r.n != 8 {
+		t.Fatalf("grew again without a full fresh window (history %v)", r.history)
+	}
+	// Another full window against the new size (backlog 100/8 > 8): 8 -> 16.
+	c.observe(100)
+	if r.n != 16 {
+		t.Fatalf("after second grow window: %d queues, want 16 (history %v)", r.n, r.history)
+	}
+	// Clamp: pending 1000 gives backlog > 8 at 16 and at 32, but growth must
+	// stop at MaxQueues.
+	for i := 0; i < 9; i++ {
+		c.observe(1000)
+	}
+	if r.n != 32 {
+		t.Fatalf("growth not clamped at MaxQueues: %d (history %v)", r.n, r.history)
+	}
+	// Drain: backlog 0 < 1 shrinks 32 -> 16 -> 8 -> 4 and stops at MinQueues.
+	for i := 0; i < 12; i++ {
+		c.observe(0)
+	}
+	if r.n != 4 {
+		t.Fatalf("shrink did not settle at MinQueues: %d (history %v)", r.n, r.history)
+	}
+	want := []int{8, 16, 32, 16, 8, 4}
+	if len(r.history) != len(want) {
+		t.Fatalf("resize history %v, want %v", r.history, want)
+	}
+	for i, n := range want {
+		if r.history[i] != n {
+			t.Fatalf("resize history %v, want %v", r.history, want)
+		}
+	}
+	if r.epoch != uint64(len(want)) || r.resizes != int64(len(want)) {
+		t.Fatalf("epoch %d / resizes %d, want %d", r.epoch, r.resizes, len(want))
+	}
+}
+
+// TestElasticControllerDefaults pins the normalization: zero Min/Max freeze
+// that direction at the initial size, watermark and window defaults apply,
+// and an inverted band is repaired.
+func TestElasticControllerDefaults(t *testing.T) {
+	r := &fakeResizable{n: 8, floor: 2}
+	c := newElasticController(r, ElasticConfig{Enable: true})
+	if c.cfg.MinQueues != 8 || c.cfg.MaxQueues != 8 {
+		t.Fatalf("zero range must pin to the initial size, got [%d, %d]", c.cfg.MinQueues, c.cfg.MaxQueues)
+	}
+	if c.cfg.HighWater != 8 || c.cfg.LowWater != 1 || c.cfg.Window != 3 {
+		t.Fatalf("defaults not applied: hi=%v lo=%v window=%d", c.cfg.HighWater, c.cfg.LowWater, c.cfg.Window)
+	}
+	// With Min == Max == initial, no sample can trigger a resize.
+	for i := 0; i < 10; i++ {
+		c.observe(10000)
+		c.observe(0)
+	}
+	if r.resizes != 0 {
+		t.Fatalf("pinned range still resized: %v", r.history)
+	}
+	c2 := newElasticController(r, ElasticConfig{Enable: true, HighWater: 2, LowWater: 5})
+	if c2.cfg.LowWater >= c2.cfg.HighWater {
+		t.Fatalf("inverted band not repaired: lo=%v hi=%v", c2.cfg.LowWater, c2.cfg.HighWater)
+	}
+}
+
+// TestElasticControllerAbandonsFailingShrink: a shrink the queue rejects
+// (below its own floor, e.g. the d-choice sample size) must not be retried
+// every window — the controller pins itself above that size until a grow
+// succeeds.
+func TestElasticControllerAbandonsFailingShrink(t *testing.T) {
+	r := &fakeResizable{n: 8, floor: 8}
+	c := newElasticController(r, ElasticConfig{
+		Enable: true, MinQueues: 2, MaxQueues: 16, Window: 1,
+	})
+	c.observe(0)
+	if r.resizes != 0 {
+		t.Fatalf("rejected shrink counted as a resize: %v", r.history)
+	}
+	attempts := r.resizes
+	for i := 0; i < 5; i++ {
+		c.observe(0)
+	}
+	if r.resizes != attempts {
+		t.Fatalf("controller kept retrying a failing shrink: %v", r.history)
+	}
+}

@@ -77,6 +77,10 @@ type OpenConfig struct {
 	// not yet served — queued plus in service) on that period into
 	// OpenStats.QLen, the queue-length timeseries.
 	SampleEvery time.Duration
+	// Elastic arms the sampler-driven resize controller (see ElasticConfig).
+	// Effective only when the queue implements Resizable and SampleEvery > 0:
+	// the controller's clock is the queue-length sampler.
+	Elastic ElasticConfig
 	// Seed fixes the interarrival randomness.
 	Seed uint64
 }
@@ -92,6 +96,15 @@ type OpenStats struct {
 	Injected int64
 	// QLen holds the pending-count samples (empty unless SampleEvery > 0).
 	QLen []int64
+	// Elastic-controller accounting, populated only when the controller was
+	// armed (Elastic.Enable on a Resizable queue with SampleEvery > 0):
+	// Resizes counts reconfigurations during this run, Epochs is the queue's
+	// final topology version, and FinalQueues its final queue count —
+	// FinalQueues is always non-zero when the controller was armed, so
+	// harnesses can distinguish "armed but stable" from "not elastic".
+	Resizes     int64
+	Epochs      uint64
+	FinalQueues int
 }
 
 // RunOpen runs an open system: cfg.Producers goroutines inject the items
@@ -200,7 +213,15 @@ func RunOpen[V any](q Queue[V], cfg OpenConfig, gen func(producer, seq int) Item
 		}(p, quota)
 	}
 
-	// Queue-length sampler.
+	// Queue-length sampler, doubling as the elastic controller's clock: each
+	// sample is also fed to the controller when one is armed (the queue
+	// implements Resizable and cfg.Elastic asked for it).
+	var ctrl *elasticController
+	if cfg.Elastic.Enable && cfg.SampleEvery > 0 {
+		if r, ok := q.(Resizable); ok {
+			ctrl = newElasticController(r, cfg.Elastic)
+		}
+	}
 	var qlen []int64
 	samplerStop := make(chan struct{})
 	var samplerWG sync.WaitGroup
@@ -213,7 +234,11 @@ func RunOpen[V any](q Queue[V], cfg OpenConfig, gen func(producer, seq int) Item
 			for {
 				select {
 				case <-tick.C:
-					qlen = append(qlen, pending.Load())
+					p := pending.Load()
+					qlen = append(qlen, p)
+					if ctrl != nil {
+						ctrl.observe(p)
+					}
 				case <-samplerStop:
 					return
 				}
@@ -246,11 +271,17 @@ func RunOpen[V any](q Queue[V], cfg OpenConfig, gen func(producer, seq int) Item
 	close(samplerStop)
 	samplerWG.Wait()
 
-	return OpenStats{
+	st := OpenStats{
 		Stats:    tot.stats(),
 		Injected: injected.Load(),
 		QLen:     qlen,
 	}
+	if ctrl != nil {
+		st.Resizes = ctrl.r.Resizes() - ctrl.baseResizes
+		st.Epochs = ctrl.r.Epoch()
+		st.FinalQueues = ctrl.r.NumQueues()
+	}
+	return st
 }
 
 // newArrival constructs producer p's arrival process: the configured

@@ -1,0 +1,154 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+)
+
+func transformFixture(t *testing.T) *Trace {
+	t.Helper()
+	s, err := Preset("bursty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Generate(s, 9, 2000, 1e5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// TestScaleRate: the schedule compresses/stretches by exactly f, the job
+// population is untouched, the recorded rate scales, provenance rehashes,
+// and the original trace is not mutated.
+func TestScaleRate(t *testing.T) {
+	tr := transformFixture(t)
+	origHash, err := tr.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaled, err := tr.ScaleRate(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scaled.Jobs() != tr.Jobs() {
+		t.Fatalf("scaling changed the job count: %d -> %d", tr.Jobs(), scaled.Jobs())
+	}
+	if scaled.Rate != tr.Rate*2 {
+		t.Fatalf("rate %v after scaling by 2, want %v", scaled.Rate, tr.Rate*2)
+	}
+	prev := int64(0)
+	for i, v := range scaled.ArrivalNs {
+		if want := int64(float64(tr.ArrivalNs[i]) / 2); v != want {
+			t.Fatalf("arrival %d: %d, want %d", i, v, want)
+		}
+		if v < prev {
+			t.Fatalf("arrival %d breaks monotonicity", i)
+		}
+		prev = v
+		if scaled.Class[i] != tr.Class[i] || scaled.Service[i] != tr.Service[i] {
+			t.Fatalf("job %d changed identity under a rate scale", i)
+		}
+	}
+	newHash, err := scaled.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newHash == origHash {
+		t.Fatal("scaled trace hashes identically to the original; provenance must rehash")
+	}
+	if h, _ := tr.Hash(); h != origHash {
+		t.Fatal("ScaleRate mutated the receiver")
+	}
+	// A scaled trace must survive the write/read round trip (ordering and
+	// hash checks included).
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, scaled); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h, _ := back.Hash(); h != newHash {
+		t.Fatal("scaled trace round trip changed the hash")
+	}
+	if _, err := tr.ScaleRate(0); err == nil {
+		t.Fatal("ScaleRate(0) accepted")
+	}
+	if _, err := tr.ScaleRate(-1); err == nil {
+		t.Fatal("ScaleRate(-1) accepted")
+	}
+}
+
+// TestThin: deterministic subsample — kept share near p, job identities
+// preserved, schedule order preserved, rate scaled by p, same (trace, p)
+// keeps the same subset, and subsamples nest (Thin(0.2) ⊂ Thin(0.5)).
+func TestThin(t *testing.T) {
+	tr := transformFixture(t)
+	thin, err := tr.Thin(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, kept := tr.Jobs(), thin.Jobs()
+	// Binomial(2000, 0.5): ±5σ ≈ ±112.
+	if kept < n/2-150 || kept > n/2+150 {
+		t.Fatalf("thinning by 0.5 kept %d of %d jobs", kept, n)
+	}
+	if thin.Rate != tr.Rate*0.5 {
+		t.Fatalf("rate %v after thinning by 0.5, want %v", thin.Rate, tr.Rate*0.5)
+	}
+	// Every kept job must appear in the original, in order.
+	src := 0
+	for i := 0; i < kept; i++ {
+		for src < n && !(tr.ArrivalNs[src] == thin.ArrivalNs[i] &&
+			tr.Class[src] == thin.Class[i] && tr.Service[src] == thin.Service[i]) {
+			src++
+		}
+		if src == n {
+			t.Fatalf("thinned job %d is not an ordered subsequence of the original", i)
+		}
+		src++
+	}
+	// Determinism: the same (trace, p) keeps the identical subset.
+	again, err := tr.Thin(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1, _ := thin.Hash()
+	h2, _ := again.Hash()
+	if h1 != h2 {
+		t.Fatal("thinning is not deterministic")
+	}
+	// Nesting: one coin per job means Thin(0.2)'s subset ⊆ Thin(0.5)'s.
+	thinner, err := tr.Thin(0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inHalf := make(map[int64]bool, kept)
+	for _, v := range thin.ArrivalNs {
+		inHalf[v] = true
+	}
+	for i, v := range thinner.ArrivalNs {
+		if !inHalf[v] {
+			t.Fatalf("Thin(0.2) kept job %d (t=%dns) that Thin(0.5) dropped — subsamples must nest", i, v)
+		}
+	}
+	if h, _ := thin.Hash(); h == func() string { s, _ := tr.Hash(); return s }() {
+		t.Fatal("thinned trace hashes identically to the original")
+	}
+	if _, err := tr.Thin(0); err == nil {
+		t.Fatal("Thin(0) accepted")
+	}
+	if _, err := tr.Thin(1.5); err == nil {
+		t.Fatal("Thin(1.5) accepted")
+	}
+	// p = 1 keeps everything and is a legal identity-with-new-provenance.
+	all, err := tr.Thin(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all.Jobs() != n {
+		t.Fatalf("Thin(1) kept %d of %d jobs", all.Jobs(), n)
+	}
+}

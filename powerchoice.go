@@ -100,8 +100,24 @@ func (q *MultiQueue[V]) DeleteMin() (key uint64, value V, ok bool) {
 // Len returns the number of stored elements, counting in-flight inserts.
 func (q *MultiQueue[V]) Len() int { return q.inner.Len() }
 
-// NumQueues returns the internal queue count n.
+// NumQueues returns the internal queue count n of the live topology (it
+// tracks Resize).
 func (q *MultiQueue[V]) NumQueues() int { return q.inner.NumQueues() }
+
+// Resize reconfigures the internal topology online to the given queue and
+// shard counts (shards ≤ 0 keeps the current shard partition): operations
+// keep running while the queue set grows or shrinks, retired queues drain
+// their elements into survivors exactly once, and handles adopt the new
+// topology on their next operation. The queue count must stay at or above
+// the configured choice count d.
+func (q *MultiQueue[V]) Resize(queues, shards int) error { return q.inner.Resize(queues, shards) }
+
+// Epoch returns the live topology version: 0 at construction, +1 per
+// completed Resize.
+func (q *MultiQueue[V]) Epoch() uint64 { return q.inner.Epoch() }
+
+// Resizes returns the number of completed Resize calls.
+func (q *MultiQueue[V]) Resizes() int64 { return q.inner.Resizes() }
 
 // Config reports the fully resolved configuration — including the queue
 // count actually derived on this machine — so callers can log what ran.
