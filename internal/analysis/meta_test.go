@@ -38,7 +38,8 @@ var hotPathAllocCoverage = map[string]string{
 	"powerchoice/internal/core.lockedQueue.drainCombined":   "powerchoice/internal/core.TestCombiningOpsAllocationFree",
 	"powerchoice/internal/core.lockedQueue.unlock":          "powerchoice/internal/core.TestHandleOpsAllocationFree",
 	"powerchoice/internal/core.combineRing.grab":            "powerchoice/internal/core.TestCombiningOpsAllocationFree",
-	"powerchoice/internal/core.selector.local":              "powerchoice/internal/core.TestHandleOpsAllocationFreeSharded",
+	"powerchoice/internal/core.selector.flipLocal":          "powerchoice/internal/core.TestHandleOpsAllocationFreeSharded",
+	"powerchoice/internal/core.selector.flipBeta":           "powerchoice/internal/core.TestHandleOpsAllocationFreeDChoice",
 	"powerchoice/internal/core.selector.sampleInsertQueue":  "powerchoice/internal/core.TestHandleOpsAllocationFree",
 	"powerchoice/internal/core.selector.sampleDeleteQueue":  "powerchoice/internal/core.TestHandleOpsAllocationFree",
 	"powerchoice/internal/core.selector.sampleScoped":       "powerchoice/internal/core.TestHandleOpsAllocationFreeSharded",
@@ -64,13 +65,21 @@ var hotPathAllocCoverage = map[string]string{
 
 	"powerchoice/internal/sched.PopBuffer.Pop": "powerchoice/internal/sched.TestPopBufferPopAllocationFree",
 
-	"powerchoice/internal/xrand.Source.Bernoulli":   "powerchoice/internal/xrand.TestSourceOpsAllocationFree",
-	"powerchoice/internal/xrand.Source.ExpFloat64":  "powerchoice/internal/xrand.TestSourceOpsAllocationFree",
-	"powerchoice/internal/xrand.Source.Float64":     "powerchoice/internal/xrand.TestSourceOpsAllocationFree",
-	"powerchoice/internal/xrand.Source.Intn":        "powerchoice/internal/xrand.TestSourceOpsAllocationFree",
-	"powerchoice/internal/xrand.Source.KDistinct":   "powerchoice/internal/xrand.TestSourceOpsAllocationFree",
-	"powerchoice/internal/xrand.Source.TwoDistinct": "powerchoice/internal/xrand.TestSourceOpsAllocationFree",
-	"powerchoice/internal/xrand.Source.Uint64":      "powerchoice/internal/xrand.TestSourceOpsAllocationFree",
+	"powerchoice/internal/xrand.Source.Bernoulli":        "powerchoice/internal/xrand.TestSourceOpsAllocationFree",
+	"powerchoice/internal/xrand.Source.Coin":             "powerchoice/internal/xrand.TestSourceOpsAllocationFree",
+	"powerchoice/internal/xrand.Source.ExpFloat64":       "powerchoice/internal/xrand.TestSourceOpsAllocationFree",
+	"powerchoice/internal/xrand.Source.Float64":          "powerchoice/internal/xrand.TestSourceOpsAllocationFree",
+	"powerchoice/internal/xrand.Source.Intn":             "powerchoice/internal/xrand.TestSourceOpsAllocationFree",
+	"powerchoice/internal/xrand.Source.KDistinct":        "powerchoice/internal/xrand.TestSourceOpsAllocationFree",
+	"powerchoice/internal/xrand.Source.TwoBounded32":     "powerchoice/internal/xrand.TestSourceOpsAllocationFree",
+	"powerchoice/internal/xrand.Source.TwoDistinct":      "powerchoice/internal/xrand.TestSourceOpsAllocationFree",
+	"powerchoice/internal/xrand.Source.TwoDistinct32":    "powerchoice/internal/xrand.TestSourceOpsAllocationFree",
+	"powerchoice/internal/xrand.Source.Uint64":           "powerchoice/internal/xrand.TestSourceOpsAllocationFree",
+	"powerchoice/internal/xrand.Bounded.Draw":            "powerchoice/internal/xrand.TestBoundedOpsAllocationFree",
+	"powerchoice/internal/xrand.Bounded.drawSlow":        "powerchoice/internal/xrand.TestBoundedOpsAllocationFree",
+	"powerchoice/internal/xrand.Bounded.KDistinct":       "powerchoice/internal/xrand.TestBoundedOpsAllocationFree",
+	"powerchoice/internal/xrand.Bounded.TwoDistinct":     "powerchoice/internal/xrand.TestBoundedOpsAllocationFree",
+	"powerchoice/internal/xrand.Bounded.twoDistinctSlow": "powerchoice/internal/xrand.TestBoundedOpsAllocationFree",
 }
 
 // TestHotPathAllocCoverage is the meta-test: the annotation scan drives the

@@ -39,6 +39,11 @@ type BudgetComponent struct {
 	NsPerOp float64
 	// Share is this component's fraction of the measured total.
 	Share float64
+	// SubOf names the parent component this row decomposes (empty for
+	// top-level rows). Sub-rows attribute a slice of their parent's cost and
+	// are excluded from the additive sum the residual is derived from —
+	// counting them would double-book the parent's nanoseconds.
+	SubOf string
 }
 
 // BudgetPrediction is one contention-model row: predicted ns/op at K
@@ -54,8 +59,10 @@ type BudgetPrediction struct {
 
 // BudgetResult is the full outcome of one Budget invocation.
 type BudgetResult struct {
-	// Components holds sample, lock, heap, stats, residual, total — in that
-	// order, residual derived.
+	// Components holds the top-level rows (sample, lock, heap, stats),
+	// each top-level row's sub-rows right after it (draw and scan under
+	// sample), then residual (derived from the top-level rows only) and
+	// total.
 	Components []BudgetComponent
 	// TotalNsPerOp is the measured full-pair cost the shares divide by.
 	TotalNsPerOp float64
@@ -86,7 +93,7 @@ func Budget(spec BudgetSpec) (BudgetResult, error) {
 			b.ResetTimer()
 			run(b.N)
 		})
-		measured[p.Name] = BudgetComponent{Name: p.Name, Doc: p.Doc, NsPerOp: ns}
+		measured[p.Name] = BudgetComponent{Name: p.Name, Doc: p.Doc, NsPerOp: ns, SubOf: p.SubOf}
 		if p.Name != "total" {
 			order = append(order, p.Name)
 		}
@@ -99,9 +106,20 @@ func Budget(spec BudgetSpec) (BudgetResult, error) {
 	var sum float64
 	for _, name := range order {
 		c := measured[name]
+		if c.SubOf != "" {
+			continue // emitted under its parent below
+		}
 		c.Share = c.NsPerOp / total.NsPerOp
 		sum += c.NsPerOp
 		res.Components = append(res.Components, c)
+		for _, sub := range order {
+			sc := measured[sub]
+			if sc.SubOf != name {
+				continue
+			}
+			sc.Share = sc.NsPerOp / total.NsPerOp
+			res.Components = append(res.Components, sc)
+		}
 	}
 	residual := total.NsPerOp - sum
 	res.Components = append(res.Components, BudgetComponent{

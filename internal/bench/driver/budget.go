@@ -9,8 +9,9 @@ import (
 )
 
 // runBudget decomposes the steady-state Mixed pair (one Insert + one
-// DeleteMin) into a ns/op budget — sample, lock, heap, stats, residual —
-// each measured median-of-N through testing.Benchmark, then extrapolates
+// DeleteMin) into a ns/op budget — sample (itself split into draw and scan
+// sub-rows), lock, heap, stats, residual — each measured median-of-N
+// through testing.Benchmark, then extrapolates
 // the single-core numbers across a thread sweep with the seqproc contention
 // model to predict what flat combining buys under multicore contention.
 func runBudget(args []string, stdout, stderr io.Writer) error {
@@ -47,9 +48,15 @@ func runBudget(args []string, stdout, stderr io.Writer) error {
 	tb := bench.NewTable("row", "ns_op", "share", "notes")
 	rep := bench.NewReport("budget", *seed)
 	for _, c := range res.Components {
-		tb.AddRow(c.Name, fmt.Sprintf("%.1f", c.NsPerOp), fmt.Sprintf("%.0f%%", c.Share*100), c.Doc)
+		name := c.Name
+		if c.SubOf != "" {
+			// Indent sub-rows under the component they decompose; they
+			// attribute a slice of the parent's cost, not additional time.
+			name = "  " + c.SubOf + "/" + c.Name
+		}
+		tb.AddRow(name, fmt.Sprintf("%.1f", c.NsPerOp), fmt.Sprintf("%.0f%%", c.Share*100), c.Doc)
 		rep.Add(bench.Row{
-			Component: c.Name, NsPerOp: c.NsPerOp, Share: c.Share,
+			Component: c.Name, SubOf: c.SubOf, NsPerOp: c.NsPerOp, Share: c.Share,
 			Queues: *queues,
 		})
 	}

@@ -41,19 +41,31 @@ func TestBudgetJSONReport(t *testing.T) {
 		}
 		byName[r.Component] = r
 	}
-	for _, want := range []string{"sample", "lock", "heap", "stats", "residual", "total"} {
+	for _, want := range []string{"sample", "draw", "scan", "lock", "heap", "stats", "residual", "total"} {
 		if _, ok := byName[want]; !ok {
 			t.Errorf("component row %q missing", want)
+		}
+	}
+	for name, wantParent := range map[string]string{"draw": "sample", "scan": "sample"} {
+		if got := byName[name].SubOf; got != wantParent {
+			t.Errorf("%s row sub_of = %q, want %q", name, got, wantParent)
+		}
+	}
+	for _, name := range []string{"sample", "lock", "heap", "stats", "residual", "total"} {
+		if got := byName[name].SubOf; got != "" {
+			t.Errorf("%s row sub_of = %q, want top-level", name, got)
 		}
 	}
 	total := byName["total"]
 	if total.NsPerOp <= 0 || math.Abs(total.Share-1) > 1e-9 {
 		t.Errorf("total row malformed: %+v", total)
 	}
-	// The decomposition must be additive: components + residual == total.
+	// The decomposition must be additive: top-level components + residual ==
+	// total. Sub-rows attribute a slice of their parent's cost and stay out
+	// of the sum — including them would double-book the parent.
 	var sum float64
 	for name, r := range byName {
-		if name == "total" {
+		if name == "total" || r.SubOf != "" {
 			continue
 		}
 		sum += r.NsPerOp

@@ -163,8 +163,13 @@ type Row struct {
 	// "total") with its median-of-N NsPerOp and Share of the measured total,
 	// or "model" for a contention-prediction row, which instead carries
 	// Threads, the predicted plain/combining ns/op, the throughput win
-	// factor, and the model's fail probability and combine rate.
+	// factor, and the model's fail probability and combine rate. SubOf marks
+	// a sub-row decomposing a parent component ("draw" and "scan" under
+	// "sample"); sub-rows are excluded from the additive sum behind
+	// "residual" (all absent before PR 10 — earlier budget reports stay
+	// byte-comparable).
 	Component      string  `json:"component,omitempty"`
+	SubOf          string  `json:"sub_of,omitempty"`
 	NsPerOp        float64 `json:"ns_per_op,omitempty"`
 	Share          float64 `json:"share,omitempty"`
 	PlainNsPerOp   float64 `json:"plain_ns_per_op,omitempty"`

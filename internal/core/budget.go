@@ -27,12 +27,24 @@ type BudgetProbe struct {
 	Name string
 	// Doc is the one-line description the budget table prints.
 	Doc string
+	// SubOf names the component this probe sub-divides ("" for top-level
+	// components). Sub-probes attribute a parent's cost — they are reported
+	// alongside it but excluded from the additive sum that derives the
+	// residual, since their parent already covers them.
+	SubOf string
 	// New allocates the probe's state and returns the measured loop.
 	New func() func(iters int)
 }
 
 // budgetSink defeats dead-code elimination of probe results.
 var budgetSink uint64
+
+// budgetSinkQueue consumes sampled queue pointers without the compare-and-
+// count the sample probe used to run: sampleInsertQueue can never return nil
+// (there is always a queue to insert into), so a `!= nil` branch there
+// measured a never-taken test instead of the sampler. A typed package-level
+// sink keeps the pointer live at zero comparison cost.
+var budgetSinkQueue *lockedQueue[int32]
 
 // BudgetProbes returns the component probes for a MultiQueue with the given
 // queue count, total prefill, and seed: sample, lock, heap, stats, and the
@@ -66,16 +78,80 @@ func BudgetProbes(queues, prefill int, seed uint64) ([]BudgetProbe, error) {
 				_, h, _ := prefilled()
 				s := &h.sel
 				return func(iters int) {
-					var picked uint64
 					for i := 0; i < iters; i++ {
-						if q := s.sampleInsertQueue(); q != nil {
-							picked++
+						budgetSinkQueue = s.sampleInsertQueue()
+						budgetSinkQueue = s.sampleDeleteQueue(s.flipBeta())
+					}
+				}
+			},
+		},
+		{
+			Name:  "draw",
+			SubOf: "sample",
+			Doc:   "sample's randomness half: coin flips + bounded index draws, no top reads",
+			New: func() func(int) {
+				// The same coin flips and generator advances the sample probe
+				// performs per pair — the insert-side uniform draw and the
+				// delete-side (1+beta) draw through the snapshot's compiled
+				// plan — with the queue-array indexing and cached-top loads
+				// stripped, so sample − draw isolates the memory half (scan).
+				// Mirrors d=2 (the probes' fixed configuration).
+				_, h, _ := prefilled()
+				s := &h.sel
+				return func(iters int) {
+					acc := 0
+					for i := 0; i < iters; i++ {
+						if s.flipLocal() {
+							acc += s.rng.Intn(s.homeN)
+						} else {
+							acc += s.rng.Intn(len(s.cur.queues))
 						}
-						if q := s.sampleDeleteQueue(); q != nil {
-							picked++
+						if s.flipBeta() {
+							a, b := s.rng.TwoDistinct32(len(s.cur.queues))
+							acc += a + b
+						} else {
+							acc += s.rng.Intn(len(s.cur.queues))
 						}
 					}
-					budgetSink += picked
+					budgetSink += uint64(acc)
+				}
+			},
+		},
+		{
+			Name:  "scan",
+			SubOf: "sample",
+			Doc:   "sample's memory half: candidate indexing + cached-top loads + compare",
+			New: func() func(int) {
+				// The loads and compares the delete-side sample performs on its
+				// two candidates (queue-pointer indexing, two cached-top loads,
+				// the winner compare), driven by rotating indices so the draws
+				// themselves stay out of the measurement.
+				mq, _, _ := prefilled()
+				qs := mq.snapshot().queues
+				n := len(qs)
+				return func(iters int) {
+					var acc uint64
+					i, j := 0, 1
+					for it := 0; it < iters; it++ {
+						qi, qj := qs[i], qs[j]
+						ti, tj := qi.top.Load(), qj.top.Load()
+						if ti <= tj {
+							budgetSinkQueue = qi
+							acc += ti
+						} else {
+							budgetSinkQueue = qj
+							acc += tj
+						}
+						i++
+						if i == n {
+							i = 0
+						}
+						j++
+						if j == n {
+							j = 0
+						}
+					}
+					budgetSink += acc
 				}
 			},
 		},

@@ -80,6 +80,24 @@ type topology[V any] struct {
 	shards    int
 	localBias float64
 	epoch     uint64
+	// plan is the snapshot's precompiled sampling plan (coin kinds, integer
+	// coin thresholds, bounded-draw fast paths); see drawPlan. Immutable with
+	// the rest of the snapshot, copied into selectors at repin.
+	plan drawPlan
+}
+
+// newTopology assembles and compiles a snapshot: the identity tuple plus the
+// draw plan derived from it and the MultiQueue's fixed sampling parameters.
+// Every published snapshot must come from here so no topology ever carries a
+// zero-value plan.
+func (mq *MultiQueue[V]) newTopology(queues []*lockedQueue[V], shards int, localBias float64, epoch uint64) *topology[V] {
+	return &topology[V]{
+		queues:    queues,
+		shards:    shards,
+		localBias: localBias,
+		epoch:     epoch,
+		plan:      buildDrawPlan(shards, mq.choices, mq.beta, localBias),
+	}
 }
 
 // anyNonEmpty sweeps the snapshot's cached tops for a non-empty queue.
@@ -213,12 +231,7 @@ func New[V any](opts ...Option) (*MultiQueue[V], error) {
 		//powervet:allow rngtag the MultiQueue is the designated owner of the raw root family at Config.Seed; harnesses must Tag away from it (tagging here would silently reseed every pinned stream)
 		sharded: xrand.NewSharded(cfg.seed),
 	}
-	mq.topo.Store(&topology[V]{
-		queues:    mq.makeQueues(cfg.queues),
-		shards:    cfg.shards,
-		localBias: cfg.localBias,
-		epoch:     0,
-	})
+	mq.topo.Store(mq.newTopology(mq.makeQueues(cfg.queues), cfg.shards, cfg.localBias, 0))
 	mq.handles.New = func() any { return mq.newHandle() }
 	return mq, nil
 }
@@ -372,12 +385,7 @@ func (mq *MultiQueue[V]) resizeLocked(queues, shards int) error {
 	if queues > keep {
 		copy(nq[keep:], mq.makeQueues(queues-keep))
 	}
-	nt := &topology[V]{
-		queues:    nq,
-		shards:    shards,
-		localBias: old.localBias,
-		epoch:     old.epoch + 1,
-	}
+	nt := mq.newTopology(nq, shards, old.localBias, old.epoch+1)
 	retired := old.queues[keep:]
 	if mq.atomic {
 		// Atomic mode: the global lock covers every queue, so the swap, the

@@ -288,7 +288,7 @@ func TestCombiningParity(t *testing.T) {
 // request, take the lock, and let the release-side drain resolve it.
 func popViaRing(t *testing.T, h *Handle[int]) (uint64, bool) {
 	t.Helper()
-	q := h.sel.sampleDeleteQueue()
+	q := h.sel.sampleDeleteQueue(h.sel.flipBeta())
 	if q == nil {
 		return 0, false
 	}

@@ -29,6 +29,17 @@ type selector[V any] struct {
 	cur     *topology[V]
 	rng     *xrand.Source
 	scratch []int // d-choice sample buffer, sized at construction (d > 2)
+	// plan is the current snapshot's precompiled sampling plan, copied by
+	// value at repin so the hot path reads coin kinds, integer thresholds and
+	// the global bounded-draw fast paths from the selector's own cache lines
+	// instead of chasing the snapshot pointer per draw.
+	plan drawPlan
+	// choices, stickiness and combining mirror the owning MultiQueue's
+	// immutable configuration so the per-op paths read them from the
+	// selector's own cache lines instead of dereferencing mq.
+	choices    int
+	stickiness int
+	combining  bool
 	// id is the handle's 1-based creation index, kept for round-robin home
 	// re-pinning when the epoch turns over.
 	id int
@@ -74,6 +85,9 @@ type selector[V any] struct {
 func (s *selector[V]) init(mq *MultiQueue[V], id int) {
 	s.mq = mq
 	s.id = id
+	s.choices = mq.choices
+	s.stickiness = mq.stickiness
+	s.combining = mq.combining
 	s.rng = mq.sharded.Source(id)
 	if mq.choices > 2 {
 		// Allocated here, not lazily on the d-choice hot path: sampling
@@ -100,6 +114,7 @@ func (s *selector[V]) refresh() {
 // Cold: runs once per handle per Resize.
 func (s *selector[V]) repin(t *topology[V]) {
 	s.cur = t
+	s.plan = t.plan
 	n := len(t.queues)
 	s.homeLo, s.homeN = 0, n
 	if t.shards > 1 {
@@ -112,26 +127,49 @@ func (s *selector[V]) repin(t *topology[V]) {
 	s.stickyDel, s.delLeft = nil, 0
 }
 
-// local flips the locality coin: true means this sample is scoped to the
-// handle's home shard. Unsharded snapshots (and a zero bias) never touch
-// the generator, so their draw sequences are bit-identical to the
-// pre-sharding code under a fixed seed.
+// flipLocal flips the locality coin: true means this sample is scoped to
+// the handle's home shard. The plan compiled the degenerate cases into coin
+// kinds, so unsharded snapshots (and zero or saturated biases) never touch
+// the generator — their draw sequences are bit-identical to the pre-sharding
+// code under a fixed seed — and a fractional bias costs one generator
+// advance and an integer compare, no float conversion.
 //
 //powervet:hotpath
-func (s *selector[V]) local() bool {
-	t := s.cur
-	if t.shards <= 1 || t.localBias <= 0 {
+func (s *selector[V]) flipLocal() bool {
+	switch s.plan.local {
+	case coinNever:
 		return false
+	case coinAlways:
+		return true
+	default:
+		return s.rng.Coin(s.plan.localThr)
 	}
-	return t.localBias >= 1 || s.rng.Float64() < t.localBias
+}
+
+// flipBeta flips the β coin of the (1+β) rule: true applies the d-choice
+// comparison, false pops a single uniform queue. Like flipLocal, the
+// degenerate kinds (β=1 — the paper's pure two-choice rule and the default —
+// and d < 2 or β=0) flip no coin at all.
+//
+//powervet:hotpath
+func (s *selector[V]) flipBeta() bool {
+	switch s.plan.beta {
+	case coinNever:
+		return false
+	case coinAlways:
+		return true
+	default:
+		return s.rng.Coin(s.plan.betaThr)
+	}
 }
 
 // sampleInsertQueue picks the uniformly random queue an insert-side
-// operation lands on, within the scope the locality coin chose.
+// operation lands on, within the scope the locality coin chose, through the
+// scope's precompiled bounded-draw plan.
 //
 //powervet:hotpath
 func (s *selector[V]) sampleInsertQueue() *lockedQueue[V] {
-	if s.local() {
+	if s.flipLocal() {
 		return s.cur.queues[s.homeLo+s.rng.Intn(s.homeN)]
 	}
 	return s.cur.queues[s.rng.Intn(len(s.cur.queues))]
@@ -142,30 +180,25 @@ func (s *selector[V]) sampleInsertQueue() *lockedQueue[V] {
 // A scope-local draw that comes up all-empty counts as an emptyScan and
 // falls back to one global draw: without the fallback a handle with bias
 // p = 1 would spin forever on a drained home shard while other shards still
-// held elements.
+// held elements. useChoice is the β coin's outcome, flipped by the caller —
+// once per operation on the lock-free path, once per global-lock acquisition
+// in atomic mode (see lockNonEmptyQueue/lockNonEmptyAtomic) — so a local
+// draw and its global fallback share one flip.
 //
 //powervet:hotpath
-func (s *selector[V]) sampleDeleteQueue() *lockedQueue[V] {
-	if s.local() {
-		if q := s.sampleScoped(s.homeLo, s.homeN); q != nil {
+func (s *selector[V]) sampleDeleteQueue(useChoice bool) *lockedQueue[V] {
+	if s.flipLocal() {
+		if q := s.sampleScoped(s.homeLo, s.homeN, useChoice); q != nil {
 			return q
 		}
 		s.emptyScans++
 	}
-	return s.sampleScoped(0, len(s.cur.queues))
+	return s.sampleScoped(0, len(s.cur.queues), useChoice)
 }
 
-// sampleScoped samples queue(s) per the (1+β) d-choice rule from the
-// contiguous range [lo, lo+n) and returns the candidate with the smallest
-// cached top, or nil when every sampled candidate is empty. Shard clamping
-// (buildOptions) guarantees n ≥ choices for every scope, so the distinct
-// draws below never degenerate.
-//
 //powervet:hotpath
-func (s *selector[V]) sampleScoped(lo, n int) *lockedQueue[V] {
-	mq := s.mq
+func (s *selector[V]) sampleScoped(lo, n int, useChoice bool) *lockedQueue[V] {
 	queues := s.cur.queues
-	useChoice := mq.choices >= 2 && (mq.beta >= 1 || s.rng.Float64() < mq.beta)
 	switch {
 	case !useChoice:
 		q := queues[lo+s.rng.Intn(n)]
@@ -173,8 +206,13 @@ func (s *selector[V]) sampleScoped(lo, n int) *lockedQueue[V] {
 			return nil
 		}
 		return q
-	case mq.choices == 2:
-		i, j := s.rng.TwoDistinct(n)
+	case s.choices == 2:
+		var i, j int
+		if n <= xrand.MaxLaneBound {
+			i, j = s.rng.TwoDistinct32(n)
+		} else {
+			i, j = s.rng.TwoDistinct(n)
+		}
 		qi, qj := queues[lo+i], queues[lo+j]
 		ti, tj := qi.top.Load(), qj.top.Load()
 		if ti == emptyTop && tj == emptyTop {
@@ -204,7 +242,7 @@ func (s *selector[V]) sampleScoped(lo, n int) *lockedQueue[V] {
 //
 //powervet:hotpath
 func (s *selector[V]) stageInsert(key uint64, val V) {
-	if s.mq.combining {
+	if s.combining {
 		s.pubKey, s.pubVal, s.pubIns = key, val, true
 	}
 }
@@ -214,7 +252,7 @@ func (s *selector[V]) stageInsert(key uint64, val V) {
 //
 //powervet:hotpath
 func (s *selector[V]) stageDelete() {
-	if s.mq.combining {
+	if s.combining {
 		s.pubDel = true
 	}
 }
@@ -265,9 +303,9 @@ func (s *selector[V]) lockForInsert() *lockedQueue[V] {
 	for {
 		q := s.sampleInsertQueue()
 		if q.lock.TryLock() {
-			if s.mq.stickiness > 1 {
+			if s.stickiness > 1 {
 				s.stickyIns = q
-				s.insLeft = s.mq.stickiness - 1
+				s.insLeft = s.stickiness - 1
 			}
 			return q
 		}
@@ -425,9 +463,17 @@ func (s *selector[V]) lockNonEmptyQueue() *lockedQueue[V] {
 		}
 		s.delLeft = 0
 	}
+	// The β coin is flipped once per operation, not once per loop iteration:
+	// retries here are lock-contention and stale-top artifacts of this
+	// implementation, not deletions of the paper's process, so re-flipping
+	// per retry would only spend generator advances (and under β=1, the
+	// default, the kind compiles the flip away entirely). Atomic mode keeps
+	// the per-acquisition flip — it is the distributionally linearizable
+	// reference process the validation tests measure.
+	useChoice := s.flipBeta()
 	var bo backoff.Spinner
 	for {
-		q := s.sampleDeleteQueue()
+		q := s.sampleDeleteQueue(useChoice)
 		if q == nil {
 			// All sampled tops empty: sweep every queue before declaring
 			// the structure empty. A Resize that swapped the topology
@@ -454,9 +500,9 @@ func (s *selector[V]) lockNonEmptyQueue() *lockedQueue[V] {
 			continue
 		}
 		if q.count > 0 {
-			if s.mq.stickiness > 1 {
+			if s.stickiness > 1 {
 				s.stickyDel = q
-				s.delLeft = s.mq.stickiness - 1
+				s.delLeft = s.stickiness - 1
 			}
 			return q
 		}
@@ -484,7 +530,7 @@ func (s *selector[V]) lockNonEmptyAtomic() *lockedQueue[V] {
 		// snapshot while holding it, so the view adopted here is stable for
 		// the whole critical section.
 		s.refresh()
-		q := s.sampleDeleteQueue()
+		q := s.sampleDeleteQueue(s.flipBeta())
 		if q == nil {
 			empty := !s.cur.anyNonEmpty()
 			mq.globalMu.Unlock()

@@ -252,10 +252,10 @@ func (a *mqAdapter) Len() int { return a.mq.Len() }
 // Resizable (see sched.Resizable): the MultiQueue's epoch-based online
 // resize, exposed so the open-system executor's elastic controller can
 // reconfigure the line-up's MultiQueue entries under live traffic.
-func (a *mqAdapter) NumQueues() int                { return a.mq.NumQueues() }
+func (a *mqAdapter) NumQueues() int                  { return a.mq.NumQueues() }
 func (a *mqAdapter) Resize(queues, shards int) error { return a.mq.Resize(queues, shards) }
-func (a *mqAdapter) Epoch() uint64                 { return a.mq.Epoch() }
-func (a *mqAdapter) Resizes() int64                { return a.mq.Resizes() }
+func (a *mqAdapter) Epoch() uint64                   { return a.mq.Epoch() }
+func (a *mqAdapter) Resizes() int64                  { return a.mq.Resizes() }
 
 // Local returns a handle-backed per-goroutine view.
 func (a *mqAdapter) Local() graph.ConcurrentPQ {

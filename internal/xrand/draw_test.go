@@ -1,0 +1,436 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+
+	"powerchoice/internal/stats"
+)
+
+// chiSquareUniform runs the repository's chi-square test against the uniform
+// expectation and fails if the p-value is below alpha. All callers use fixed
+// seeds, so a pass is deterministic, not flaky.
+func chiSquareUniform(t *testing.T, name string, counts []int, trials int, alpha float64) {
+	t.Helper()
+	observed := make([]float64, len(counts))
+	expected := make([]float64, len(counts))
+	want := float64(trials) / float64(len(counts))
+	for i, c := range counts {
+		observed[i] = float64(c)
+		expected[i] = want
+	}
+	stat, p, err := stats.ChiSquare(observed, expected)
+	if err != nil {
+		t.Fatalf("%s: chi-square: %v", name, err)
+	}
+	if p < alpha {
+		t.Errorf("%s: chi-square stat %.2f, p = %.6f < %v — not uniform", name, stat, p, alpha)
+	}
+}
+
+func TestTwoBounded32Bounds(t *testing.T) {
+	s := NewSource(101)
+	for _, n := range []int{1, 2, 3, 7, 8, 100, maxLaneBound} {
+		for trial := 0; trial < 2000; trial++ {
+			i, j := s.TwoBounded32(n)
+			if i < 0 || i >= n || j < 0 || j >= n {
+				t.Fatalf("TwoBounded32(%d) out of range: (%d, %d)", n, i, j)
+			}
+		}
+	}
+}
+
+func TestTwoBounded32Panics(t *testing.T) {
+	for _, n := range []int{0, -1, maxLaneBound + 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("TwoBounded32(%d) did not panic", n)
+				}
+			}()
+			NewSource(1).TwoBounded32(n)
+		}()
+	}
+}
+
+// TestTwoBounded32LaneUniform: each lane of the split draw must be uniform
+// on its own — the 32×32 fixed-point reduction biases buckets by at most
+// n·2⁻³², invisible at these trial counts.
+func TestTwoBounded32LaneUniform(t *testing.T) {
+	s := NewSource(103)
+	const n, trials = 10, 200000
+	lo := make([]int, n)
+	hi := make([]int, n)
+	for trial := 0; trial < trials; trial++ {
+		i, j := s.TwoBounded32(n)
+		lo[i]++
+		hi[j]++
+	}
+	chiSquareUniform(t, "low lane", lo, trials, 0.001)
+	chiSquareUniform(t, "high lane", hi, trials, 0.001)
+}
+
+// TestTwoBounded32LaneIndependence: the joint distribution over (i, j) must
+// be uniform on the n×n grid — any intra-word correlation between the two
+// 32-bit lanes of a xoshiro256++ output would concentrate mass on a
+// diagonal or band and fail the joint chi-square even when both marginals
+// pass.
+func TestTwoBounded32LaneIndependence(t *testing.T) {
+	s := NewSource(107)
+	const n, trials = 6, 360000
+	joint := make([]int, n*n)
+	for trial := 0; trial < trials; trial++ {
+		i, j := s.TwoBounded32(n)
+		joint[i*n+j]++
+	}
+	chiSquareUniform(t, "joint lanes", joint, trials, 0.001)
+}
+
+func TestTwoDistinct32(t *testing.T) {
+	s := NewSource(109)
+	for _, n := range []int{2, 3, 8, 100} {
+		for trial := 0; trial < 5000; trial++ {
+			i, j := s.TwoDistinct32(n)
+			if i == j {
+				t.Fatalf("TwoDistinct32(%d) returned equal indices %d", n, i)
+			}
+			if i < 0 || i >= n || j < 0 || j >= n {
+				t.Fatalf("TwoDistinct32(%d) out of range: (%d, %d)", n, i, j)
+			}
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("TwoDistinct32(1) did not panic")
+		}
+	}()
+	s.TwoDistinct32(1)
+}
+
+// TestTwoDistinct32UniformPairs: conditioning the lane pair on distinctness
+// must yield the uniform law over unordered pairs — the same distribution
+// TwoDistinct produces with two sequential rejection draws.
+func TestTwoDistinct32UniformPairs(t *testing.T) {
+	s := NewSource(113)
+	const n, trials = 4, 120000
+	counts := make([]int, 0)
+	pairIdx := map[[2]int]int{}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			pairIdx[[2]int{i, j}] = len(counts)
+			counts = append(counts, 0)
+		}
+	}
+	marginal := make([]int, n)
+	for trial := 0; trial < trials; trial++ {
+		i, j := s.TwoDistinct32(n)
+		marginal[i]++
+		marginal[j]++
+		if i > j {
+			i, j = j, i
+		}
+		counts[pairIdx[[2]int{i, j}]]++
+	}
+	chiSquareUniform(t, "unordered pairs", counts, trials, 0.001)
+	chiSquareUniform(t, "pair marginal", marginal, 2*trials, 0.001)
+}
+
+func TestCoinThreshold(t *testing.T) {
+	cases := []struct {
+		p    float64
+		want uint64
+	}{
+		{-1, 0},
+		{0, 0},
+		{1, math.MaxUint64},
+		{2, math.MaxUint64},
+		{0.5, 1 << 63},
+		{0.25, 1 << 62},
+	}
+	for _, c := range cases {
+		if got := CoinThreshold(c.p); got != c.want {
+			t.Errorf("CoinThreshold(%v) = %#x, want %#x", c.p, got, c.want)
+		}
+	}
+	// Monotone in p, and a near-one probability stays in range.
+	if CoinThreshold(0.75) <= CoinThreshold(0.25) {
+		t.Error("CoinThreshold not monotone")
+	}
+	if thr := CoinThreshold(1 - 1e-12); thr == 0 || thr == math.MaxUint64 {
+		t.Errorf("CoinThreshold(1-1e-12) = %#x, want interior threshold", thr)
+	}
+}
+
+// TestCoinBias: the integer coin at the β values the selector actually uses.
+// β = 1 is exercised for completeness even though the core draw plan never
+// flips it (coinAlways short-circuits): the single all-ones word that would
+// make Coin(MaxUint64) return false has probability 2⁻⁶⁴.
+func TestCoinBias(t *testing.T) {
+	const trials = 200000
+	for _, beta := range []float64{0.25, 0.5, 1} {
+		s := NewSource(127)
+		thr := CoinThreshold(beta)
+		heads := 0
+		for i := 0; i < trials; i++ {
+			if s.Coin(thr) {
+				heads++
+			}
+		}
+		if beta == 1 {
+			if heads != trials {
+				t.Errorf("beta=1: %d heads of %d", heads, trials)
+			}
+			continue
+		}
+		counts := []int{heads, trials - heads}
+		observed := []float64{float64(counts[0]), float64(counts[1])}
+		expected := []float64{beta * trials, (1 - beta) * trials}
+		stat, p, err := stats.ChiSquare(observed, expected)
+		if err != nil {
+			t.Fatalf("beta=%v: %v", beta, err)
+		}
+		if p < 0.001 {
+			t.Errorf("beta=%v: %d heads of %d (chi-square %.2f, p=%.6f)", beta, heads, trials, stat, p)
+		}
+	}
+}
+
+func TestNewBoundedPanics(t *testing.T) {
+	for _, n := range []int{0, -3} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewBounded(%d) did not panic", n)
+				}
+			}()
+			NewBounded(n)
+		}()
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Bounded.TwoDistinct with n=1 did not panic")
+		}
+	}()
+	NewBounded(1).TwoDistinct(NewSource(1))
+}
+
+// TestBoundedDrawMatchesIntn: for non-power-of-two bounds the plan's Draw is
+// the same Lemire acceptance rule as Intn with the threshold precomputed, so
+// the two must consume the stream identically — bit-for-bit, not just in
+// distribution.
+func TestBoundedDrawMatchesIntn(t *testing.T) {
+	for _, n := range []int{3, 5, 7, 100, maxLaneBound + 3} {
+		b := NewBounded(n)
+		a, c := NewSource(131), NewSource(131)
+		for trial := 0; trial < 20000; trial++ {
+			if got, want := b.Draw(a), c.Intn(n); got != want {
+				t.Fatalf("n=%d trial %d: Bounded.Draw=%d, Intn=%d", n, trial, got, want)
+			}
+		}
+	}
+}
+
+// TestBoundedDrawPow2Uniform: the mask fast path changes which bits become
+// the index (low bits instead of the Lemire high product), so it is NOT
+// stream-compatible with Intn — but it must stay uniform.
+func TestBoundedDrawPow2Uniform(t *testing.T) {
+	s := NewSource(137)
+	const n, trials = 16, 160000
+	b := NewBounded(n)
+	if !b.pow2 || b.mask != n-1 {
+		t.Fatalf("NewBounded(%d) did not take the pow2 plan: %+v", n, b)
+	}
+	counts := make([]int, n)
+	for trial := 0; trial < trials; trial++ {
+		counts[b.Draw(s)]++
+	}
+	chiSquareUniform(t, "pow2 mask draw", counts, trials, 0.001)
+}
+
+func TestBoundedTwoDistinctPaths(t *testing.T) {
+	// All three plan paths: pow2 lanes, fixed-point lanes, and the exact
+	// rejection fallback past maxLaneBound.
+	for _, n := range []int{2, 4, 3, 6, 100, maxLaneBound + 1} {
+		b := NewBounded(n)
+		s := NewSource(uint64(139 + n))
+		trials := 5000
+		if n > maxLaneBound {
+			trials = 1000
+		}
+		for trial := 0; trial < trials; trial++ {
+			i, j := b.TwoDistinct(s)
+			if i == j {
+				t.Fatalf("Bounded(%d).TwoDistinct returned equal indices %d", n, i)
+			}
+			if i < 0 || i >= n || j < 0 || j >= n {
+				t.Fatalf("Bounded(%d).TwoDistinct out of range: (%d, %d)", n, i, j)
+			}
+		}
+	}
+}
+
+// TestBoundedTwoDistinctUniformPairs: pair-law uniformity on both lane
+// variants (mask lanes for pow2, fixed-point lanes otherwise).
+func TestBoundedTwoDistinctUniformPairs(t *testing.T) {
+	for _, n := range []int{4, 5} {
+		b := NewBounded(n)
+		s := NewSource(uint64(149 + n))
+		const trials = 120000
+		counts := make([]int, 0)
+		pairIdx := map[[2]int]int{}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				pairIdx[[2]int{i, j}] = len(counts)
+				counts = append(counts, 0)
+			}
+		}
+		for trial := 0; trial < trials; trial++ {
+			i, j := b.TwoDistinct(s)
+			if i > j {
+				i, j = j, i
+			}
+			counts[pairIdx[[2]int{i, j}]]++
+		}
+		chiSquareUniform(t, "bounded pairs", counts, trials, 0.001)
+	}
+}
+
+// TestBoundedKDistinctMatchesSource: the plan's KDistinct routes every index
+// through Draw, which for non-pow2 bounds is stream-identical to Intn, and
+// the collision-retry structure mirrors Source.KDistinct — so the filled
+// buffers must match bit-for-bit.
+func TestBoundedKDistinctMatchesSource(t *testing.T) {
+	const n, k = 7, 3
+	b := NewBounded(n)
+	a, c := NewSource(151), NewSource(151)
+	got := make([]int, k)
+	want := make([]int, k)
+	for trial := 0; trial < 20000; trial++ {
+		b.KDistinct(a, got)
+		c.KDistinct(want, n)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: Bounded.KDistinct=%v, Source.KDistinct=%v", trial, got, want)
+			}
+		}
+	}
+}
+
+func TestBoundedKDistinctPanicsWhenKExceedsN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Bounded.KDistinct with k > n did not panic")
+		}
+	}()
+	NewBounded(2).KDistinct(NewSource(1), make([]int, 3))
+}
+
+func TestClone(t *testing.T) {
+	s := NewSource(157)
+	for i := 0; i < 100; i++ {
+		s.Uint64()
+	}
+	c := s.Clone()
+	for i := 0; i < 1000; i++ {
+		if s.Uint64() != c.Uint64() {
+			t.Fatalf("clone diverged at step %d", i)
+		}
+	}
+	// Advancing the original must not move the clone (independent state).
+	c2 := s.Clone()
+	s.Uint64()
+	if s.Uint64() == c2.Uint64() {
+		// c2 is one step behind s now; equal values here would mean shared
+		// state (or a 2⁻⁶⁴ coincidence — the fixed seed rules that out).
+		t.Fatal("clone shares state with original")
+	}
+}
+
+func BenchmarkTwoDistinct(b *testing.B) {
+	s := NewSource(1)
+	sink := 0
+	for i := 0; i < b.N; i++ {
+		x, y := s.TwoDistinct(8)
+		sink += x + y
+	}
+	sinkInt = sink
+}
+
+func BenchmarkTwoDistinct32(b *testing.B) {
+	s := NewSource(1)
+	sink := 0
+	for i := 0; i < b.N; i++ {
+		x, y := s.TwoDistinct32(8)
+		sink += x + y
+	}
+	sinkInt = sink
+}
+
+func BenchmarkCoin(b *testing.B) {
+	s := NewSource(1)
+	thr := CoinThreshold(0.75)
+	sink := 0
+	for i := 0; i < b.N; i++ {
+		if s.Coin(thr) {
+			sink++
+		}
+	}
+	sinkInt = sink
+}
+
+func BenchmarkBernoulli(b *testing.B) {
+	s := NewSource(1)
+	sink := 0
+	for i := 0; i < b.N; i++ {
+		if s.Bernoulli(0.75) {
+			sink++
+		}
+	}
+	sinkInt = sink
+}
+
+func BenchmarkBoundedDraw(b *testing.B) {
+	b.Run("pow2", func(b *testing.B) {
+		s := NewSource(1)
+		plan := NewBounded(8)
+		sink := 0
+		for i := 0; i < b.N; i++ {
+			sink += plan.Draw(s)
+		}
+		sinkInt = sink
+	})
+	b.Run("lemire", func(b *testing.B) {
+		s := NewSource(1)
+		plan := NewBounded(7)
+		sink := 0
+		for i := 0; i < b.N; i++ {
+			sink += plan.Draw(s)
+		}
+		sinkInt = sink
+	})
+}
+
+func BenchmarkBoundedTwoDistinct(b *testing.B) {
+	b.Run("pow2", func(b *testing.B) {
+		s := NewSource(1)
+		plan := NewBounded(8)
+		sink := 0
+		for i := 0; i < b.N; i++ {
+			x, y := plan.TwoDistinct(s)
+			sink += x + y
+		}
+		sinkInt = sink
+	})
+	b.Run("lemire", func(b *testing.B) {
+		s := NewSource(1)
+		plan := NewBounded(7)
+		sink := 0
+		for i := 0; i < b.N; i++ {
+			x, y := plan.TwoDistinct(s)
+			sink += x + y
+		}
+		sinkInt = sink
+	})
+}
+
+var sinkInt int

@@ -55,6 +55,16 @@ func (s *Source) Seed(seed uint64) {
 	}
 }
 
+// Clone returns an independent Source at the same generator state: the
+// clone and the original produce identical streams from here until either
+// advances. Tests use this to assert a code path performed zero draws
+// (clone before, compare outputs after); it is not for sharing streams
+// between goroutines — use Sharded or Tag for that.
+func (s *Source) Clone() *Source {
+	c := *s
+	return &c
+}
+
 func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
 
 // Uint64 returns the next 64 uniformly random bits.
@@ -89,7 +99,13 @@ func (s *Source) ExpFloat64() float64 {
 }
 
 // Intn returns a uniform integer in [0, n). It panics if n <= 0.
-// It uses Lemire's nearly-divisionless bounded reduction.
+// It uses Lemire's nearly-divisionless bounded reduction: the common case is
+// one generator advance, one widening multiply and one compare, and the
+// division that computes the exact rejection threshold -bound % bound runs at
+// most once per call (it used to run once per rejection-loop iteration, a
+// loop-invariant ~20-cycle DIV recomputed on every retry). The draw sequence
+// is bit-identical to the per-iteration version: the accept rule is the same,
+// only the threshold's lifetime changed.
 //
 //powervet:hotpath
 func (s *Source) Intn(n int) int {
@@ -97,13 +113,15 @@ func (s *Source) Intn(n int) int {
 		panic("xrand: Intn with non-positive bound")
 	}
 	bound := uint64(n)
-	for {
-		x := s.Uint64()
-		hi, lo := mul64(x, bound)
-		if lo >= bound || lo >= -bound%bound {
-			return int(hi)
-		}
+	hi, lo := mul64(s.Uint64(), bound)
+	if lo >= bound {
+		return int(hi)
 	}
+	threshold := -bound % bound
+	for lo < threshold {
+		hi, lo = mul64(s.Uint64(), bound)
+	}
+	return int(hi)
 }
 
 // mul64 returns the 128-bit product of x and y as (hi, lo). bits.Mul64 is a
@@ -133,7 +151,10 @@ func (s *Source) TwoDistinct(n int) (int, int) {
 // KDistinct fills dst with len(dst) distinct uniform indices in [0, n),
 // for the d-choice generalisation of the removal rule. It panics if
 // len(dst) > n. Sampling is by rejection, which is near-optimal for the
-// small d used in choice processes.
+// small d used in choice processes. All k draws share one hoisted Lemire
+// threshold (the bound is the same for every draw), so the rejection DIV is
+// paid once per call instead of once per retry; the accept rule is unchanged,
+// so the draw sequence is bit-identical to k independent Intn(n) calls.
 //
 //powervet:hotpath
 func (s *Source) KDistinct(dst []int, n int) {
@@ -141,9 +162,272 @@ func (s *Source) KDistinct(dst []int, n int) {
 	if k > n {
 		panic("xrand: KDistinct with k > n")
 	}
+	bound := uint64(n)
+	// The threshold is computed lazily — lo >= bound accepts without it, and
+	// since threshold < bound that fast check subsumes the full rule — then
+	// cached for the remaining draws of this call.
+	var threshold uint64
+	haveThreshold := false
 	for i := 0; i < k; i++ {
 	draw:
-		v := s.Intn(n)
+		hi, lo := mul64(s.Uint64(), bound)
+		if lo < bound {
+			if !haveThreshold {
+				threshold = -bound % bound
+				haveThreshold = true
+			}
+			for lo < threshold {
+				hi, lo = mul64(s.Uint64(), bound)
+			}
+		}
+		v := int(hi)
+		for j := 0; j < i; j++ {
+			if dst[j] == v {
+				goto draw
+			}
+		}
+		dst[i] = v
+	}
+}
+
+// maxLaneBound is the largest bound the 32-bit lane-split reductions accept.
+// A lane reduction maps a uniform 32-bit word x to (x·n)>>32 without
+// rejection, so each index carries a relative bias of at most n/2³² — at the
+// cap that is 2⁻¹², far below what any realistic chi-square test resolves,
+// and queue counts (the intended bounds) are orders of magnitude smaller
+// still. Larger bounds must use the exact rejection draws (Intn, or
+// Bounded's non-lane fallback).
+const maxLaneBound = 1 << 20
+
+// MaxLaneBound is the largest bound the lane-split draws (TwoBounded32,
+// TwoDistinct32) accept; callers with dynamic bounds guard on it before
+// taking the single-advance pair draw.
+const MaxLaneBound = maxLaneBound
+
+// TwoBounded32 returns two independent (possibly equal) uniform indices in
+// [0, n) from a single generator advance: the 64 output bits are split into
+// two 32-bit lanes, each reduced by the 32×32 fixed-point product (x·n)>>32.
+// xoshiro256++ output words carry no detectable intra-word correlation, so
+// the lanes are independent draws for any statistical purpose the repository
+// has. It panics if n <= 0 or n > maxLaneBound (see maxLaneBound for the
+// bias bound the cap enforces; bounds that large need rejection sampling).
+//
+//powervet:hotpath
+func (s *Source) TwoBounded32(n int) (int, int) {
+	if n <= 0 || n > maxLaneBound {
+		panic("xrand: TwoBounded32 bound outside (0, maxLaneBound]")
+	}
+	x := s.Uint64()
+	i := int(uint64(uint32(x)) * uint64(n) >> 32)
+	j := int((x >> 32) * uint64(n) >> 32)
+	return i, j
+}
+
+// TwoDistinct32 is the two-choice fast path over TwoBounded32: two distinct
+// uniform indices in [0, n) from a single generator advance in the common
+// case, re-drawing the whole pair on a collision (probability ≈ 1/n, so the
+// expected cost is 1 + 1/(n-1) advances). Conditioning a uniform pair on
+// distinctness yields the uniform distribution over ordered distinct pairs —
+// the same law TwoDistinct produces with two rejection draws and an index
+// shift. It panics if n < 2 or n > maxLaneBound.
+//
+//powervet:hotpath
+func (s *Source) TwoDistinct32(n int) (int, int) {
+	if n < 2 {
+		panic("xrand: TwoDistinct32 needs n >= 2")
+	}
+	for {
+		i, j := s.TwoBounded32(n)
+		if i != j {
+			return i, j
+		}
+	}
+}
+
+// CoinThreshold converts a probability p into the 64-bit fixed-point
+// threshold Coin compares raw generator bits against: Coin(CoinThreshold(p))
+// is true with probability p to within 2⁻⁶⁴. p <= 0 maps to 0 (never true);
+// p >= 1 maps to MaxUint64, which is true except on the single all-ones draw
+// (probability 2⁻⁶⁴) — callers that need a certain coin should branch on
+// p >= 1 at plan-build time instead of drawing at all, as the core draw plan
+// does. The threshold is precomputed once (construction, snapshot build), so
+// the per-draw cost is one generator advance and one integer compare — no
+// float conversion, unlike Bernoulli's Float64() < p.
+func CoinThreshold(p float64) uint64 {
+	switch {
+	case p <= 0:
+		return 0
+	case p >= 1:
+		return math.MaxUint64
+	}
+	// p < 1 bounds the product by (1-2⁻⁵³)·2⁶⁴ = 2⁶⁴-2¹¹, exactly
+	// representable in a float64 and in range for the uint64 conversion.
+	return uint64(p * (1 << 64))
+}
+
+// Coin flips an integer coin: true with probability threshold/2⁶⁴. The
+// threshold comes from CoinThreshold. Note the provenance difference from
+// Bernoulli(p): both advance the generator once per flip, but Bernoulli
+// compares 53 float-converted bits while Coin compares all 64 raw bits, so
+// the two are NOT bit-compatible — the same stream flipped through Coin and
+// through Bernoulli diverges, with identical distribution.
+//
+//powervet:hotpath
+func (s *Source) Coin(threshold uint64) bool {
+	return s.Uint64() < threshold
+}
+
+// Bounded is a precomputed draw plan for a fixed bound n: the Lemire
+// rejection threshold is hoisted to construction, power-of-two bounds
+// degrade every draw to a single mask, and in-range bounds get the
+// lane-split pair draws. Construct once per topology (cold), draw many
+// (hot). The zero value is invalid; use NewBounded.
+type Bounded struct {
+	bound uint64
+	// threshold is the hoisted Lemire rejection bound -n % n.
+	threshold uint64
+	// mask is n-1 when pow2, making a draw a single AND.
+	mask uint64
+	pow2 bool
+	// lane reports bound <= maxLaneBound: pair draws may lane-split one
+	// generator advance (see TwoBounded32's bias bound).
+	lane bool
+}
+
+// NewBounded returns the draw plan for bound n. It panics if n <= 0.
+func NewBounded(n int) Bounded {
+	if n <= 0 {
+		panic("xrand: NewBounded with non-positive bound")
+	}
+	bound := uint64(n)
+	return Bounded{
+		bound:     bound,
+		threshold: -bound % bound,
+		mask:      bound - 1,
+		pow2:      bound&(bound-1) == 0,
+		lane:      bound <= maxLaneBound,
+	}
+}
+
+// N returns the bound the plan draws from.
+func (b Bounded) N() int { return int(b.bound) }
+
+// Draw returns a uniform index in [0, n): one generator advance plus either
+// a mask (power-of-two n) or the Lemire reduction with the precomputed
+// rejection threshold (exact for every n; rejection probability n/2⁶⁴).
+// Structured as an inlinable fast path — the rejection loop, taken with
+// probability n/2⁶⁴, lives in drawSlow so Draw itself inlines into the
+// selector's sampling functions.
+//
+//powervet:hotpath
+func (b Bounded) Draw(s *Source) int {
+	x := s.Uint64()
+	if b.pow2 {
+		return int(x & b.mask)
+	}
+	hi, lo := mul64(x, b.bound)
+	if lo >= b.threshold {
+		return int(hi)
+	}
+	return b.drawSlow(s)
+}
+
+// drawSlow is Draw's rejection loop, reached only when the first reduction
+// landed in the biased low range (probability n/2⁶⁴ — essentially never for
+// queue-count bounds).
+//
+//powervet:hotpath
+func (b Bounded) drawSlow(s *Source) int {
+	for {
+		hi, lo := mul64(s.Uint64(), b.bound)
+		if lo >= b.threshold {
+			return int(hi)
+		}
+	}
+}
+
+// TwoDistinct returns two distinct uniform indices in [0, n) — the
+// two-choice deletion draw. In-range bounds (lane) split one generator
+// advance into two 32-bit lanes — two masks for power-of-two n, two
+// fixed-point reductions otherwise — and re-draw the pair on collision;
+// bounds beyond maxLaneBound fall back to exact per-index rejection draws.
+// It panics if n < 2.
+//
+// Structured like Draw: the dominant case — a lane-eligible bound whose
+// single-advance pair came up distinct — inlines into the caller, and
+// everything else (collisions, non-lane bounds, the n < 2 panic) takes the
+// twoDistinctSlow call.
+//
+//powervet:hotpath
+func (b Bounded) TwoDistinct(s *Source) (int, int) {
+	if b.lane && b.bound >= 2 {
+		x := s.Uint64()
+		var i, j int
+		if b.pow2 {
+			i = int(x & b.mask)
+			j = int(x >> 32 & b.mask)
+		} else {
+			i = int(uint64(uint32(x)) * b.bound >> 32)
+			j = int((x >> 32) * b.bound >> 32)
+		}
+		if i != j {
+			return i, j
+		}
+	}
+	return b.twoDistinctSlow(s)
+}
+
+// twoDistinctSlow resolves the cases TwoDistinct's fast path cannot: pair
+// collisions (re-drawing the whole pair keeps the conditioned-on-distinct
+// law exact), bounds past maxLaneBound (per-index rejection draws), and the
+// n < 2 panic.
+//
+//powervet:hotpath
+func (b Bounded) twoDistinctSlow(s *Source) (int, int) {
+	if b.bound < 2 {
+		panic("xrand: Bounded.TwoDistinct needs n >= 2")
+	}
+	if b.lane {
+		if b.pow2 {
+			for {
+				x := s.Uint64()
+				i := int(x & b.mask)
+				j := int(x >> 32 & b.mask)
+				if i != j {
+					return i, j
+				}
+			}
+		}
+		for {
+			x := s.Uint64()
+			i := int(uint64(uint32(x)) * b.bound >> 32)
+			j := int((x >> 32) * b.bound >> 32)
+			if i != j {
+				return i, j
+			}
+		}
+	}
+	i := b.Draw(s)
+	for {
+		if j := b.Draw(s); j != i {
+			return i, j
+		}
+	}
+}
+
+// KDistinct fills dst with len(dst) distinct uniform indices in [0, n), the
+// d-choice generalisation, through the plan's precomputed single-index draw
+// (mask or hoisted-threshold reduction). It panics if len(dst) > n.
+//
+//powervet:hotpath
+func (b Bounded) KDistinct(s *Source, dst []int) {
+	k := len(dst)
+	if uint64(k) > b.bound {
+		panic("xrand: Bounded.KDistinct with k > n")
+	}
+	for i := 0; i < k; i++ {
+	draw:
+		v := b.Draw(s)
 		for j := 0; j < i; j++ {
 			if dst[j] == v {
 				goto draw
